@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the graph partitioners (the Metis role in
+//! the paper's manager): runtime of multilevel vs the cheap baselines
+//! on clustered key graphs, at the sizes a reconfiguration sees.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streamloc_partition::{
+    Graph, GreedyPartitioner, HashPartitioner, HierarchicalPartitioner, MultilevelPartitioner,
+    Partitioner,
+};
+
+/// A graph shaped like real pair statistics: `clusters` correlated
+/// communities plus random long-tail noise edges.
+fn key_graph(vertices: usize, clusters: usize, noise_edges: usize) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut builder = Graph::builder();
+    for _ in 0..vertices {
+        builder.add_vertex(rng.gen_range(1..100));
+    }
+    let per = vertices / clusters;
+    for c in 0..clusters {
+        let base = (c * per) as u32;
+        for i in 0..per as u32 {
+            // Sparse intra-cluster ring + chords, heavy weights.
+            builder.add_edge(base + i, base + (i + 1) % per as u32, rng.gen_range(50..200));
+            if i % 7 == 0 {
+                builder.add_edge(
+                    base + i,
+                    base + rng.gen_range(0..per as u32),
+                    rng.gen_range(20..100),
+                );
+            }
+        }
+    }
+    for _ in 0..noise_edges {
+        let u = rng.gen_range(0..vertices as u32);
+        let v = rng.gen_range(0..vertices as u32);
+        builder.add_edge(u, v, rng.gen_range(1..5));
+    }
+    builder.build()
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(20);
+    for &vertices in &[1_000usize, 10_000, 50_000] {
+        let graph = key_graph(vertices, 24, vertices / 2);
+        group.bench_with_input(
+            BenchmarkId::new("multilevel", vertices),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    MultilevelPartitioner::default()
+                        .partition(black_box(graph), 6, 1.03, 42)
+                        .edge_cut(graph)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("greedy", vertices), &graph, |b, graph| {
+            b.iter(|| {
+                GreedyPartitioner
+                    .partition(black_box(graph), 6, 1.03, 42)
+                    .edge_cut(graph)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("hash", vertices), &graph, |b, graph| {
+            b.iter(|| {
+                HashPartitioner
+                    .partition(black_box(graph), 6, 1.03, 42)
+                    .edge_cut(graph)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical_2x3", vertices),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    HierarchicalPartitioner::new(2, 3)
+                        .partition(black_box(graph), 6, 1.03, 42)
+                        .edge_cut(graph)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

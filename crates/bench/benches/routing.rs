@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the routing hot path and the manager's
+//! reconfiguration computation: a table lookup must cost about as
+//! much as the hash it replaces, and computing a full reconfiguration
+//! must be cheap enough to run every period.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use streamloc_bench::tables_from_batch;
+use streamloc_core::RoutingTable;
+use streamloc_engine::{HashRouter, Key, KeyRouter};
+use streamloc_workloads::{TwitterConfig, TwitterWorkload};
+
+fn bench_route_lookup(c: &mut Criterion) {
+    let table: RoutingTable = (0..100_000u64)
+        .map(|v| (Key::new(v), (v % 6) as u32))
+        .collect();
+    let keys: Vec<Key> = (0..1024u64).map(|v| Key::new(v * 131 % 150_000)).collect();
+    let mut group = c.benchmark_group("routing/route");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("table_100k_entries", |b| {
+        b.iter(|| {
+            keys.iter()
+                .map(|&k| table.route(black_box(k), 6))
+                .sum::<u32>()
+        });
+    });
+    group.bench_function("hash", |b| {
+        b.iter(|| {
+            keys.iter()
+                .map(|&k| HashRouter.route(black_box(k), 6))
+                .sum::<u32>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_reconfiguration_compute(c: &mut Criterion) {
+    // One week of pair statistics → sketch → graph → partition →
+    // tables: the full policy pipeline the manager runs per period.
+    let mut workload = TwitterWorkload::new(TwitterConfig {
+        tuples_per_day: 20_000,
+        ..TwitterConfig::default()
+    });
+    let week = workload.week(1);
+    let mut group = c.benchmark_group("routing/reconfigure");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(week.len() as u64));
+    group.bench_function("weekly_tables_140k_pairs", |b| {
+        b.iter(|| {
+            let tables = tables_from_batch(black_box(&week), 6, 100_000, usize::MAX, 1.03);
+            tables.left.len() + tables.right.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_lookup, bench_reconfiguration_compute);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion benchmark for the cluster simulator itself: simulated
+//! tuples per wall-clock second on the standard evaluation chain —
+//! the budget every figure harness spends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use streamloc_bench::{run_synthetic, RoutingStrategy};
+use streamloc_engine::{
+    ClusterSpec, CountOperator, Grouping, Placement, SimConfig, Simulation, SourceRate, Topology,
+};
+use streamloc_workloads::SyntheticWorkload;
+
+fn standard_sim(parallelism: usize, padding: u32) -> Simulation {
+    let workload = SyntheticWorkload::new(parallelism, 0.8, padding, 3);
+    let mut builder = Topology::builder();
+    let s = builder.source("S", parallelism, SourceRate::Saturate, move |i| {
+        workload.source(i)
+    });
+    let a = builder.stateful("A", parallelism, CountOperator::factory());
+    let b = builder.stateful("B", parallelism, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, parallelism);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(parallelism),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/window");
+    group.sample_size(20);
+    for &parallelism in &[2usize, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("step", parallelism),
+            &parallelism,
+            |b, &parallelism| {
+                let mut sim = standard_sim(parallelism, 256);
+                sim.run(5); // warm-up: fill the pipeline
+                b.iter(|| {
+                    sim.step();
+                    sim.metrics().windows().last().unwrap().sink_tuples
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/experiment");
+    group.sample_size(10);
+    // One Fig. 7 data point, as the figure harnesses run it.
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("fig7_point_n4", |b| {
+        b.iter(|| run_synthetic(4, 0.8, 4096, RoutingStrategy::LocalityAware, 15).throughput);
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_full_run);
+
+fn bench_live_runtime(c: &mut Criterion) {
+    use streamloc_engine::{
+        CountOperator, Grouping, Key, LiveConfig, LiveRuntime, Tuple,
+    };
+    let mut group = c.benchmark_group("live/throughput");
+    group.sample_size(10);
+    let total = 200_000u64;
+    group.throughput(Throughput::Elements(total));
+    group.bench_function("chain_4_threads", |b| {
+        b.iter(|| {
+            let n = 4;
+            let mut builder = Topology::builder();
+            let s = builder.source("S", n, SourceRate::Saturate, move |i| {
+                let mut c = i as u64;
+                let mut left = total / n as u64;
+                Box::new(move || {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    c = c.wrapping_add(0x9e37_79b9);
+                    Some(Tuple::new([Key::new(c % 64), Key::new(c % 64)], 0))
+                })
+            });
+            let a = builder.stateful("A", n, CountOperator::factory());
+            let bb = builder.stateful("B", n, CountOperator::factory());
+            builder.connect(s, a, Grouping::fields(0));
+            builder.connect(a, bb, Grouping::fields(1));
+            let topo = builder.build().unwrap();
+            let placement = Placement::aligned(&topo, n);
+            let rt = LiveRuntime::start(topo, placement, n, LiveConfig::default());
+            rt.join().len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(live_benches, bench_live_runtime);
+criterion_main!(benches, live_benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the SpaceSaving sketch — the
+//! per-tuple instrumentation cost that must stay negligible next to
+//! operator work (paper §3.2: "most of the resources ... should be
+//! dedicated to the application, and not collecting statistics").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use streamloc_sketch::{CountMin, ExactCounter, SpaceSaving};
+use streamloc_workloads::Zipf;
+
+fn zipf_stream(n: usize, domain: usize) -> Vec<u64> {
+    let zipf = Zipf::new(domain, 1.0);
+    let mut rng = SmallRng::seed_from_u64(7);
+    (0..n).map(|_| zipf.sample(&mut rng) as u64).collect()
+}
+
+fn bench_offer(c: &mut Criterion) {
+    let stream = zipf_stream(100_000, 1_000_000);
+    let mut group = c.benchmark_group("sketch/offer");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for capacity in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("space_saving", capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let mut sketch = SpaceSaving::new(capacity);
+                    for &k in &stream {
+                        sketch.offer(black_box(k));
+                    }
+                    sketch.len()
+                });
+            },
+        );
+    }
+    group.bench_function("count_min_4x16k", |b| {
+        b.iter(|| {
+            let mut cm = CountMin::new(4, 16_384);
+            for &k in &stream {
+                cm.offer(black_box(&k));
+            }
+            cm.total()
+        });
+    });
+    group.bench_function("exact_counter", |b| {
+        b.iter(|| {
+            let mut counter = ExactCounter::new();
+            for &k in &stream {
+                counter.offer(black_box(k));
+            }
+            counter.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_merge_and_query(c: &mut Criterion) {
+    let capacity = 10_000;
+    let mut a = SpaceSaving::new(capacity);
+    let mut b = SpaceSaving::new(capacity);
+    for k in zipf_stream(200_000, 500_000) {
+        a.offer(k);
+    }
+    for k in zipf_stream(200_000, 500_000).iter().map(|k| k + 1_000) {
+        b.offer(k);
+    }
+    let mut group = c.benchmark_group("sketch");
+    group.bench_function("merge_10k", |bencher| {
+        bencher.iter(|| SpaceSaving::merged(black_box(&a), black_box(&b), capacity).len());
+    });
+    group.bench_function("top_1000", |bencher| {
+        bencher.iter(|| black_box(&a).top_k(1000).len());
+    });
+    group.bench_function("iter_all", |bencher| {
+        bencher.iter(|| black_box(&a).iter().map(|e| e.count).sum::<u64>());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offer, bench_merge_and_query);
+criterion_main!(benches);

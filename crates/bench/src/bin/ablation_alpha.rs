@@ -1,0 +1,6 @@
+//! Ablation: alpha. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_alpha(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,6 @@
+//! Ablation: balance. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_balance(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,6 @@
+//! Ablation: estimator. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_estimator(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

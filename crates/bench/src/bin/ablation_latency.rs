@@ -1,0 +1,6 @@
+//! Ablation: latency. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_latency(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,6 @@
+//! Ablation: partitioner. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_partitioner(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,6 @@
+//! Ablation: period. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_period(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

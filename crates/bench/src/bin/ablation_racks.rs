@@ -1,0 +1,6 @@
+//! Ablation: racks. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::ablation_racks(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,6 @@
+//! Reproduces the paper's Fig. 12. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::fig12(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

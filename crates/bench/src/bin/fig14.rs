@@ -1,0 +1,6 @@
+//! Reproduces the paper's Fig. 14. See `streamloc_bench::figures`.
+
+fn main() {
+    let path = streamloc_bench::figures::fig14(streamloc_bench::quick_mode());
+    println!("\nwrote {}", path.display());
+}

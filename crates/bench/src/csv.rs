@@ -1,0 +1,74 @@
+//! Minimal CSV output for the figure harnesses.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes experiment rows both to stdout-friendly strings and to
+/// `results/<name>.csv` at the workspace root.
+#[derive(Debug)]
+pub struct CsvWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl CsvWriter {
+    /// Creates `results/<name>.csv` (and the directory) and writes the
+    /// header row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created — experiment harnesses
+    /// have nothing sensible to do without their output file.
+    #[must_use]
+    pub fn create(name: &str, header: &[&str]) -> Self {
+        let dir = results_dir();
+        fs::create_dir_all(&dir).expect("create results directory");
+        let path = dir.join(format!("{name}.csv"));
+        let mut out = BufWriter::new(File::create(&path).expect("create csv file"));
+        writeln!(out, "{}", header.join(",")).expect("write header");
+        Self { path, out }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn row(&mut self, fields: &[String]) {
+        writeln!(self.out, "{}", fields.join(",")).expect("write row");
+    }
+
+    /// Flushes and reports the written path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors.
+    pub fn finish(mut self) -> PathBuf {
+        self.out.flush().expect("flush csv");
+        self.path
+    }
+}
+
+/// `<workspace>/results`, resolved relative to this crate so the
+/// binaries work from any working directory.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("results")
+}
+
+/// Formats a float with 1 decimal for table output.
+#[must_use]
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Formats a float with 3 decimals for table output.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}

@@ -1,0 +1,149 @@
+//! Replay analysis shared by the Twitter-based experiments
+//! (Figs. 10–12): run batches of `(location, hashtag)` pairs through
+//! the sketch → key-graph → partition → routing-table pipeline and
+//! measure locality / load balance, exactly as the paper's manager
+//! would, without simulating the data plane.
+
+use streamloc_core::RoutingTable;
+use streamloc_engine::{HashRouter, Key, KeyRouter};
+use streamloc_partition::{KeyGraph, MultilevelPartitioner};
+use streamloc_sketch::SpaceSaving;
+
+/// The pair of routing tables (locations, hashtags) generated from one
+/// statistics period.
+#[derive(Debug, Clone)]
+pub struct ReplayTables {
+    /// Table for the first fields grouping (locations).
+    pub left: RoutingTable,
+    /// Table for the second fields grouping (hashtags).
+    pub right: RoutingTable,
+    /// Locality the partitioner reports on its own statistics graph.
+    pub expected_locality: f64,
+}
+
+/// Builds routing tables from a batch of key pairs, keeping at most
+/// `sketch_capacity` pairs in the SpaceSaving sketch and using the
+/// heaviest `max_edges` of them for partitioning (Fig. 12's knob).
+#[must_use]
+pub fn tables_from_batch(
+    batch: &[(Key, Key)],
+    servers: usize,
+    sketch_capacity: usize,
+    max_edges: usize,
+    alpha: f64,
+) -> ReplayTables {
+    let mut sketch = SpaceSaving::new(sketch_capacity);
+    for &pair in batch {
+        sketch.offer(pair);
+    }
+    let mut graph = KeyGraph::new();
+    for entry in sketch.iter().take(max_edges) {
+        let (left, right) = *entry.key;
+        graph.add_pair(left, right, entry.count);
+    }
+    let assignment = graph.partition(&MultilevelPartitioner::default(), servers, alpha, 0x5eed);
+    ReplayTables {
+        left: assignment.left_iter().map(|(&k, p)| (k, p)).collect(),
+        right: assignment.right_iter().map(|(&k, p)| (k, p)).collect(),
+        expected_locality: assignment.expected_locality(),
+    }
+}
+
+/// Fraction of the batch's pairs whose two keys route to the same
+/// server; `None` tables mean plain hash routing.
+#[must_use]
+pub fn replay_locality(
+    batch: &[(Key, Key)],
+    tables: Option<&ReplayTables>,
+    servers: usize,
+) -> f64 {
+    if batch.is_empty() {
+        return 1.0;
+    }
+    let local = batch
+        .iter()
+        .filter(|&&(left, right)| match tables {
+            Some(t) => t.left.route(left, servers) == t.right.route(right, servers),
+            None => HashRouter.route(left, servers) == HashRouter.route(right, servers),
+        })
+        .count();
+    local as f64 / batch.len() as f64
+}
+
+/// Load imbalance (max/avg tuples per server) that the batch induces
+/// on the second hop under the given tables (hash when `None`) — the
+/// metric of Fig. 11b.
+#[must_use]
+pub fn weekly_imbalance(
+    batch: &[(Key, Key)],
+    tables: Option<&ReplayTables>,
+    servers: usize,
+) -> f64 {
+    if batch.is_empty() {
+        return 1.0;
+    }
+    let mut loads = vec![0u64; servers];
+    for &(_, right) in batch {
+        let server = match tables {
+            Some(t) => t.right.route(right, servers),
+            None => HashRouter.route(right, servers),
+        };
+        loads[server as usize] += 1;
+    }
+    let total: u64 = loads.iter().sum();
+    let avg = total as f64 / servers as f64;
+    *loads.iter().max().expect("servers > 0") as f64 / avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlated_batch(pairs: usize) -> Vec<(Key, Key)> {
+        (0..pairs)
+            .map(|i| {
+                let k = (i % 30) as u64;
+                (Key::new(k), Key::new(1000 + k))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_correlation_gives_full_locality() {
+        let batch = correlated_batch(3000);
+        let tables = tables_from_batch(&batch, 5, 10_000, usize::MAX, 1.05);
+        assert!(tables.expected_locality > 0.99);
+        assert!(replay_locality(&batch, Some(&tables), 5) > 0.99);
+        // Hash reference is ~1/5.
+        let hash = replay_locality(&batch, None, 5);
+        assert!((hash - 0.2).abs() < 0.15);
+    }
+
+    #[test]
+    fn fewer_edges_means_less_locality() {
+        // Long-tailed pairs: with only 5 edges the tail routes by hash.
+        let mut batch = Vec::new();
+        for i in 0..2000usize {
+            let k = (i % 200) as u64;
+            batch.push((Key::new(k), Key::new(1000 + k)));
+        }
+        let full = tables_from_batch(&batch, 4, 10_000, usize::MAX, 1.05);
+        let few = tables_from_batch(&batch, 4, 10_000, 5, 1.05);
+        let loc_full = replay_locality(&batch, Some(&full), 4);
+        let loc_few = replay_locality(&batch, Some(&few), 4);
+        assert!(
+            loc_full > loc_few + 0.2,
+            "full {loc_full} should beat few-edges {loc_few}"
+        );
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        // All pairs share one hashtag: everything lands on one server.
+        let batch: Vec<_> = (0..100)
+            .map(|i| (Key::new(i), Key::new(777)))
+            .collect();
+        let imb = weekly_imbalance(&batch, None, 4);
+        assert!((imb - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,209 @@
+//! The synthetic-workload runner behind Figs. 7–9.
+
+use std::sync::Arc;
+
+use streamloc_core::RoutingTable;
+use streamloc_engine::{
+    ClusterSpec, CountOperator, Grouping, Key, KeyRouter, ModuloRouter, Placement, SimConfig,
+    Simulation, SourceRate, Topology,
+};
+use streamloc_workloads::SyntheticWorkload;
+
+/// The three fields-grouping implementations compared in §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingStrategy {
+    /// Explicit tables: tuple `(i, j)` → instance `i`, then `j`
+    /// (the tables the optimizer would generate for this workload).
+    LocalityAware,
+    /// Default hash-based fields grouping. Storm's integer hash
+    /// spreads the n keys evenly over the n instances (Java's Integer
+    /// hash is the identity), but the alignment of each assignment
+    /// with the data placement and with the other operator is
+    /// arbitrary — modeled by the statistically representative
+    /// permutations with one alignment point per hop, matching the
+    /// expected n · 1/n = 1 co-locations of a random assignment.
+    HashBased,
+    /// Adversarial tables with zero alignment anywhere: every
+    /// correlated tuple crosses the network on both hops (the paper's
+    /// lower bound).
+    WorstCase,
+}
+
+impl RoutingStrategy {
+    /// Short label used in tables and CSV files.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            RoutingStrategy::LocalityAware => "locality-aware",
+            RoutingStrategy::HashBased => "hash-based",
+            RoutingStrategy::WorstCase => "worst-case",
+        }
+    }
+
+    /// All three strategies, in the paper's plotting order.
+    #[must_use]
+    pub fn all() -> [RoutingStrategy; 3] {
+        [
+            RoutingStrategy::LocalityAware,
+            RoutingStrategy::HashBased,
+            RoutingStrategy::WorstCase,
+        ]
+    }
+
+    /// The `(first hop, second hop)` routers this strategy installs
+    /// for a deployment of `parallelism` instances.
+    #[must_use]
+    pub fn routers(self, parallelism: usize) -> (Arc<dyn KeyRouter>, Arc<dyn KeyRouter>) {
+        match self {
+            RoutingStrategy::LocalityAware => (Arc::new(ModuloRouter), Arc::new(ModuloRouter)),
+            RoutingStrategy::HashBased => {
+                let (h1, h2) = hash_tables(parallelism);
+                (Arc::new(h1), Arc::new(h2))
+            }
+            RoutingStrategy::WorstCase => {
+                let (w1, w2) = worst_tables(parallelism);
+                (Arc::new(w1), Arc::new(w2))
+            }
+        }
+    }
+}
+
+/// Builds a routing table from an explicit permutation of `0..n`.
+fn table_of(n: usize, perm: impl Fn(u64) -> u32) -> RoutingTable {
+    RoutingTable::from_assignments((0..n as u64).map(|k| (Key::new(k), perm(k))))
+}
+
+/// The rotation with one fixed point: `0 → 0`, cycle on the rest.
+fn one_fixed_rotation(n: usize, k: u64) -> u32 {
+    if n <= 2 {
+        // n = 2 cannot have exactly one fixed point; the swap (zero
+        // fixed points) is the conventional degenerate choice.
+        ((n as u64 - 1) - k) as u32
+    } else if k == 0 {
+        0
+    } else {
+        (1 + (k % (n as u64 - 1))) as u32
+    }
+}
+
+/// Hash-based model: hop 1 uses the one-fixed-point rotation `R`
+/// (source `s` emits key `s`, so exactly one source is aligned with
+/// its first-hop instance — the expected count under random hashing);
+/// hop 2 uses `R∘R`, which agrees with `R` on exactly one key, so one
+/// in `n` correlated pairs stays local.
+fn hash_tables(n: usize) -> (RoutingTable, RoutingTable) {
+    let h1 = table_of(n, |k| one_fixed_rotation(n, k));
+    let h2 = table_of(n, |k| {
+        one_fixed_rotation(n, u64::from(one_fixed_rotation(n, k)))
+    });
+    (h1, h2)
+}
+
+/// Worst-case model: hop 1 rotates every key off its source's server
+/// and hop 2 rotates one step further, so no correlated tuple is ever
+/// local on either hop.
+fn worst_tables(n: usize) -> (RoutingTable, RoutingTable) {
+    let w1 = table_of(n, |k| ((k + 1) % n as u64) as u32);
+    let w2 = table_of(n, |k| ((k + 2) % n as u64) as u32);
+    (w1, w2)
+}
+
+/// Measured outcome of one synthetic run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticRun {
+    /// Steady-state sink throughput, tuples/second.
+    pub throughput: f64,
+    /// Achieved locality of the A→B hop.
+    pub locality: f64,
+}
+
+/// Runs the §4.1 evaluation topology (source → two stateful counters,
+/// instance `i` of each on server `i`) over the synthetic workload and
+/// returns steady-state throughput and hop locality.
+///
+/// `windows` simulation windows of 100 ms are executed; the first
+/// third is discarded as warm-up.
+///
+/// # Panics
+///
+/// Panics on invalid workload parameters (see
+/// [`SyntheticWorkload::new`]).
+#[must_use]
+pub fn run_synthetic(
+    parallelism: usize,
+    locality: f64,
+    padding: u32,
+    strategy: RoutingStrategy,
+    windows: usize,
+) -> SyntheticRun {
+    let workload = SyntheticWorkload::new(parallelism, locality, padding, 0xbe9c);
+    let (router_sa, router_ab) = strategy.routers(parallelism);
+
+    let mut builder = Topology::builder();
+    let s = builder.source("S", parallelism, SourceRate::Saturate, move |i| {
+        workload.source(i)
+    });
+    let a = builder.stateful("A", parallelism, CountOperator::factory());
+    let b = builder.stateful("B", parallelism, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields_with(0, router_sa));
+    let edge_ab = builder.connect(a, b, Grouping::fields_with(1, router_ab));
+    let topology = builder.build().expect("valid chain");
+
+    let placement = Placement::aligned(&topology, parallelism);
+    let mut sim = Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(parallelism),
+        placement,
+        SimConfig::default(),
+    );
+    sim.run(windows);
+    let skip = windows / 3;
+    SyntheticRun {
+        throughput: sim.metrics().avg_throughput(skip),
+        locality: sim.metrics().edge_locality(edge_ab, skip),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_aware_beats_hash_beats_worst_case() {
+        let n = 4;
+        let la = run_synthetic(n, 0.8, 8 * 1024, RoutingStrategy::LocalityAware, 20);
+        let hash = run_synthetic(n, 0.8, 8 * 1024, RoutingStrategy::HashBased, 20);
+        let worst = run_synthetic(n, 0.8, 8 * 1024, RoutingStrategy::WorstCase, 20);
+        assert!(
+            la.throughput > hash.throughput,
+            "locality-aware {} <= hash {}",
+            la.throughput,
+            hash.throughput
+        );
+        assert!(
+            hash.throughput >= worst.throughput * 0.9,
+            "hash {} well below worst {}",
+            hash.throughput,
+            worst.throughput
+        );
+        assert!(la.locality > 0.75);
+        // Worst-case: correlated tuples (80%) always cross; the
+        // uncorrelated rest lands locally 1/(n-1) of the time.
+        assert!(worst.locality < 0.1, "worst locality {}", worst.locality);
+    }
+
+    #[test]
+    fn full_locality_elides_padding_effect() {
+        // With 100% locality and locality-aware routing, everything is
+        // in-memory: padding must not matter (Fig. 7d–f).
+        let small = run_synthetic(3, 1.0, 0, RoutingStrategy::LocalityAware, 16);
+        let large = run_synthetic(3, 1.0, 20 * 1024, RoutingStrategy::LocalityAware, 16);
+        assert_eq!(small.locality, 1.0);
+        assert!(
+            (small.throughput - large.throughput).abs() / small.throughput < 0.05,
+            "padding changed fully-local throughput: {} vs {}",
+            small.throughput,
+            large.throughput
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Locality-aware routing for stateful streaming applications.
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Caneill, El Rheddane, Leroy, De Palma — *Locality-Aware Routing in
+//! Stateful Streaming Applications*, Middleware 2016): instead of
+//! hashing keys to operator instances, it observes which keys of
+//! consecutive fields groupings co-occur, assigns correlated keys to
+//! instances on the same server, and keeps doing so online as the
+//! stream drifts — cutting network traffic while preserving load
+//! balance.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`PairTracker`] — §3.2's bounded-memory instrumentation: a
+//!   SpaceSaving sketch of `(input key, output key)` pairs per
+//!   stateful instance;
+//! * [`RoutingTable`] — §3.3's explicit key → instance tables with
+//!   hash fallback for unmonitored keys;
+//! * [`Manager`] — §3.3–3.4's coordinator: merges the trackers'
+//!   statistics, builds the bipartite key graph, partitions it under
+//!   the imbalance bound α (via `streamloc-partition`, the in-repo
+//!   Metis equivalent), generates tables, and deploys them through the
+//!   engine's online reconfiguration wave with state migration
+//!   ([`Manager::reconfigure`]) or offline at startup
+//!   ([`Manager::apply_offline`]).
+//!
+//! # Example
+//!
+//! ```
+//! use streamloc_core::{Manager, ManagerConfig};
+//! use streamloc_engine::{
+//!     ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig,
+//!     Simulation, SourceRate, Topology, Tuple,
+//! };
+//!
+//! // Two consecutive stateful operators over correlated keys.
+//! let n = 2;
+//! let mut builder = Topology::builder();
+//! let s = builder.source("S", n, SourceRate::PerSecond(10_000.0), |i| {
+//!     let mut c = i as u64;
+//!     Box::new(move || {
+//!         c += 1;
+//!         let k = c % 8;
+//!         Some(Tuple::new([Key::new(k), Key::new(k + 8)], 64))
+//!     })
+//! });
+//! let a = builder.stateful("A", n, CountOperator::factory());
+//! let b = builder.stateful("B", n, CountOperator::factory());
+//! builder.connect(s, a, Grouping::fields(0));
+//! builder.connect(a, b, Grouping::fields(1));
+//! let topology = builder.build()?;
+//!
+//! let placement = Placement::aligned(&topology, n);
+//! let mut sim = Simulation::new(
+//!     topology,
+//!     ClusterSpec::lan_10g(n),
+//!     placement,
+//!     SimConfig::default(),
+//! );
+//! let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+//!
+//! sim.run(10); // gather statistics under hash routing
+//! let summary = manager.reconfigure(&mut sim).expect("no wave running");
+//! assert!(summary.expected_locality > 0.9);
+//! sim.run(10); // wave propagates, state migrates, locality rises
+//! # Ok::<(), streamloc_engine::BuildTopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+#[cfg(test)]
+mod estimator_tests;
+mod manager;
+mod routing_table;
+mod store;
+mod tracker;
+
+pub use manager::{Manager, ManagerConfig, PartitionerKind, ReconfigPolicy, ReconfigSummary};
+pub use routing_table::RoutingTable;
+pub use store::{ConfigStore, FileStore, MemoryStore, SavedConfiguration};
+pub use tracker::{PairTracker, TrackerHandle};

@@ -1,0 +1,812 @@
+//! The manager: statistics collection, key-graph partitioning,
+//! routing-table generation and reconfiguration orchestration
+//! (paper §3.3–3.4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use streamloc_engine::{
+    EdgeId, Grouping, Key, KeyRouter, PoId, PoiId, ReconfigInProgress, ReconfigPlan, Simulation,
+};
+use streamloc_partition::{
+    Graph, GreedyPartitioner, HashPartitioner, HierarchicalPartitioner, MultilevelPartitioner,
+    Partitioner, VertexId,
+};
+use streamloc_sketch::SpaceSaving;
+
+use crate::routing_table::RoutingTable;
+use crate::store::SavedConfiguration;
+use crate::tracker::PairTracker;
+
+/// Which graph partitioner the manager runs (the multilevel one plays
+/// the paper's Metis role; the others exist for the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionerKind {
+    /// Multilevel coarsening + refinement (Metis-equivalent, default).
+    #[default]
+    Multilevel,
+    /// One-pass greedy placement.
+    Greedy,
+    /// Hash assignment (degenerates to plain fields grouping).
+    Hash,
+}
+
+impl PartitionerKind {
+    fn run(self, graph: &Graph, k: usize, alpha: f64, seed: u64) -> streamloc_partition::Partition {
+        match self {
+            PartitionerKind::Multilevel => {
+                MultilevelPartitioner::default().partition(graph, k, alpha, seed)
+            }
+            PartitionerKind::Greedy => GreedyPartitioner.partition(graph, k, alpha, seed),
+            PartitionerKind::Hash => HashPartitioner.partition(graph, k, alpha, seed),
+        }
+    }
+}
+
+/// Manager tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagerConfig {
+    /// SpaceSaving capacity of each instance's pair tracker (the
+    /// paper's "1 MB of memory per POI" corresponds to ~10^4–10^5
+    /// monitored pairs).
+    pub sketch_capacity: usize,
+    /// Use at most this many of the heaviest pair edges per hop when
+    /// building the key graph (Fig. 12's x-axis).
+    pub max_edges: usize,
+    /// Imbalance bound α (paper uses Metis' default 1.03).
+    pub alpha: f64,
+    /// Partitioner selection.
+    pub partitioner: PartitionerKind,
+    /// When `true` and the cluster declares more than one rack (with a
+    /// server count divisible by the rack count), partition the key
+    /// graph hierarchically: across racks first, then across each
+    /// rack's servers — keys that cannot share a server still share a
+    /// rack, sparing the uplinks (paper §6 future work). Falls back to
+    /// the flat partitioner otherwise.
+    pub rack_aware: bool,
+    /// Seed for the partitioner's internal randomness.
+    pub seed: u64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            sketch_capacity: 100_000,
+            max_edges: 1_000_000,
+            alpha: 1.03,
+            partitioner: PartitionerKind::Multilevel,
+            rack_aware: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One instrumented hop: a stateful operator X whose output reaches a
+/// stateful operator Y through a fields grouping — either directly, or
+/// through a chain of stateless local-or-shuffle stages (the paper's
+/// Fig. 3 deployment: `B → (l-o-s) → C → (fields) → D`), which
+/// preserve the sender's server so co-locating X's and Y's keys still
+/// keeps the whole path in memory.
+#[derive(Debug)]
+struct Hop {
+    /// The instrumented upstream operator (X in §3.2).
+    tracked_po: PoId,
+    /// The downstream stateful operator (Y).
+    dest_po: PoId,
+    /// The fields edge into Y (sender = X itself or the last stateless
+    /// stage).
+    dest_edge: EdgeId,
+    /// X's first fields in-edge (the grouping its input keys route
+    /// on), when X has one.
+    in_edge: Option<EdgeId>,
+    trackers: Vec<Arc<PairTracker>>,
+}
+
+/// Thresholds for [`Manager::reconfigure_if_beneficial`].
+///
+/// Locality gain is a fraction in `[0, 1]`; imbalance gain is a
+/// reduction of the max/avg load ratio. The imbalance default is
+/// deliberately coarser: the candidate's imbalance is measured on the
+/// very sample it was optimized for, so small apparent reductions are
+/// sampling noise, while a burst-induced skew shows up as a gain of
+/// 0.5 or more.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigPolicy {
+    /// Deploy when predicted locality improves by at least this much.
+    pub min_locality_gain: f64,
+    /// Deploy when predicted imbalance drops by at least this much.
+    pub min_imbalance_gain: f64,
+}
+
+impl Default for ReconfigPolicy {
+    fn default() -> Self {
+        Self {
+            min_locality_gain: 0.05,
+            min_imbalance_gain: 0.30,
+        }
+    }
+}
+
+/// Statistics returned by a successful reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigSummary {
+    /// Locality the partitioner achieved on the statistics graph (the
+    /// "Metis reports 75%" figure of §4.3 — an upper bound on future
+    /// locality).
+    pub expected_locality: f64,
+    /// Imbalance (max/avg part weight) on the statistics graph.
+    pub expected_imbalance: f64,
+    /// Key states scheduled for migration.
+    pub migrations: usize,
+    /// Explicit entries across all generated routing tables.
+    pub table_entries: usize,
+    /// Pair observations merged from all trackers this period.
+    pub pairs_observed: u64,
+    /// Distinct pair edges actually used to build the graph.
+    pub edges_used: usize,
+    /// Locality the *currently deployed* tables achieve on the same
+    /// statistics — the baseline the candidate is compared against.
+    pub current_locality: f64,
+    /// Load imbalance (max/avg per-server weight of the downstream
+    /// keys) the currently deployed tables produce on the same
+    /// statistics.
+    pub current_imbalance: f64,
+}
+
+impl ReconfigSummary {
+    /// Predicted locality improvement of deploying the candidate
+    /// tables (`expected_locality - current_locality`).
+    #[must_use]
+    pub fn locality_gain(&self) -> f64 {
+        self.expected_locality - self.current_locality
+    }
+
+    /// Predicted imbalance reduction (`current_imbalance -
+    /// expected_imbalance`); positive when the candidate rebalances a
+    /// skewed deployment (e.g. after a burst shifted the hot keys).
+    #[must_use]
+    pub fn imbalance_gain(&self) -> f64 {
+        self.current_imbalance - self.expected_imbalance
+    }
+}
+
+/// The routing manager of §3.3: periodically turns the pair statistics
+/// collected by the instrumented operators into balanced, locality-
+/// maximizing routing tables and deploys them through the online
+/// reconfiguration protocol.
+///
+/// # Example
+///
+/// See [`Manager::attach`] and the crate-level documentation; the
+/// `online_rebalance` example runs the full loop.
+#[derive(Debug)]
+pub struct Manager {
+    config: ManagerConfig,
+    hops: Vec<Hop>,
+    /// Stateful operators that receive routing tables, with their
+    /// fields in-edges.
+    routed: Vec<(PoId, Vec<EdgeId>)>,
+    /// Last generated table per routed operator (by position in
+    /// `routed`).
+    tables: Vec<RoutingTable>,
+}
+
+impl Manager {
+    /// Scans the deployed topology for consecutive stateful operators
+    /// joined by fields grouping, installs a [`PairTracker`] on every
+    /// instance of each upstream operator, and returns the manager.
+    ///
+    /// Returns a manager with no hops (a no-op) if the topology has no
+    /// consecutive stateful pair — there is nothing to optimize then.
+    pub fn attach(sim: &mut Simulation, config: ManagerConfig) -> Self {
+        let mut hops = Vec::new();
+        let mut routed_set: Vec<PoId> = Vec::new();
+        let topo = sim.topology();
+
+        /// `(tracked X, dest Y, observe edge, observe field, dest edge)`.
+        type HopSpec = (PoId, PoId, EdgeId, usize, EdgeId);
+
+        /// Follows a chain of stateless local-or-shuffle stages from
+        /// `po` until fields edges into stateful operators are found
+        /// (the paper's Fig. 3: `B → l-o-s → C → fields → D`).
+        fn walk_stateless(
+            topo: &streamloc_engine::Topology,
+            po: PoId,
+            origin: PoId,
+            observe_edge: EdgeId,
+            out: &mut Vec<HopSpec>,
+        ) {
+            for &e in topo.out_edges(po) {
+                let edge = topo.edge(e);
+                let to = edge.to();
+                match edge.grouping() {
+                    Grouping::Fields { field, .. } if topo.po(to).is_stateful() => {
+                        out.push((origin, to, observe_edge, *field, e));
+                    }
+                    Grouping::LocalOrShuffle if !topo.po(to).is_stateful() => {
+                        walk_stateless(topo, to, origin, observe_edge, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let mut hop_specs: Vec<HopSpec> = Vec::new();
+        for &from in topo.topo_order() {
+            if !topo.po(from).is_stateful() || topo.state_field(from).is_none() {
+                continue;
+            }
+            for &e in topo.out_edges(from) {
+                let edge = topo.edge(e);
+                let to = edge.to();
+                match edge.grouping() {
+                    Grouping::Fields { field, .. } if topo.po(to).is_stateful() => {
+                        hop_specs.push((from, to, e, *field, e));
+                    }
+                    Grouping::LocalOrShuffle if !topo.po(to).is_stateful() => {
+                        walk_stateless(topo, to, from, e, &mut hop_specs);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for &(from, to, ..) in &hop_specs {
+            for po in [from, to] {
+                if !routed_set.contains(&po) {
+                    routed_set.push(po);
+                }
+            }
+        }
+        for (from, to, observe_edge, observe_field, dest_edge) in hop_specs {
+            let in_edge = sim
+                .topology()
+                .in_edges(from)
+                .iter()
+                .copied()
+                .find(|&e| {
+                    matches!(sim.topology().edge(e).grouping(), Grouping::Fields { .. })
+                });
+            let trackers: Vec<Arc<PairTracker>> = sim
+                .poi_ids(from)
+                .into_iter()
+                .map(|poi| {
+                    let tracker = PairTracker::new(config.sketch_capacity);
+                    sim.add_pair_observer(
+                        poi,
+                        observe_edge,
+                        observe_field,
+                        Box::new(tracker.handle()),
+                    );
+                    tracker
+                })
+                .collect();
+            hops.push(Hop {
+                tracked_po: from,
+                dest_po: to,
+                dest_edge,
+                in_edge,
+                trackers,
+            });
+        }
+        let routed = routed_set
+            .into_iter()
+            .map(|po| {
+                let in_edges = sim
+                    .topology()
+                    .in_edges(po)
+                    .iter()
+                    .copied()
+                    .filter(|&e| {
+                        matches!(
+                            sim.topology().edge(e).grouping(),
+                            Grouping::Fields { .. }
+                        )
+                    })
+                    .collect();
+                (po, in_edges)
+            })
+            .collect::<Vec<_>>();
+        let tables = vec![RoutingTable::new(); routed.len()];
+        Self {
+            config,
+            hops,
+            routed,
+            tables,
+        }
+    }
+
+    /// Number of instrumented hops.
+    #[must_use]
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// The last routing table generated for `po`, if `po` is routed by
+    /// this manager.
+    #[must_use]
+    pub fn table_for(&self, po: PoId) -> Option<&RoutingTable> {
+        self.routed
+            .iter()
+            .position(|&(p, _)| p == po)
+            .map(|i| &self.tables[i])
+    }
+
+    /// Pair observations accumulated since the last reconfiguration.
+    #[must_use]
+    pub fn pairs_observed(&self) -> u64 {
+        self.hops
+            .iter()
+            .flat_map(|h| &h.trackers)
+            .map(|t| t.total())
+            .sum()
+    }
+
+    /// Runs one full optimization round: merge statistics (①–②),
+    /// partition the key graph, generate routing tables, and deploy
+    /// them with state migration through the online protocol (③–⑥).
+    /// Statistics are reset afterwards so the next round sees fresh
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigInProgress`] (leaving statistics intact) if
+    /// the previous wave has not finished.
+    pub fn reconfigure(
+        &mut self,
+        sim: &mut Simulation,
+    ) -> Result<ReconfigSummary, ReconfigInProgress> {
+        let (summary, plan) = self.compute(sim);
+        sim.start_reconfiguration(plan)?;
+        self.charge_metrics_upload(sim);
+        for hop in &self.hops {
+            for tracker in &hop.trackers {
+                tracker.reset();
+            }
+        }
+        Ok(summary)
+    }
+
+    /// Estimates the impact of reconfiguring *now*, without applying
+    /// anything or resetting statistics: the candidate tables'
+    /// expected locality vs the locality the current tables achieve on
+    /// the same fresh statistics — the estimator sketched as future
+    /// work in the paper's §6 ("predict the impact of a
+    /// reconfiguration to provide more fine-grained information to the
+    /// manager").
+    #[must_use]
+    pub fn estimate(&mut self, sim: &Simulation) -> ReconfigSummary {
+        self.compute(sim).0
+    }
+
+    /// Reconfigures only when the predicted *locality* gain reaches
+    /// `min_gain`, or the predicted *imbalance* reduction does (a
+    /// burst may leave locality intact while piling correlated hot
+    /// keys on one server — the paper's Fig. 11b spikes). Otherwise
+    /// the deployment and the accumulated statistics are left
+    /// untouched, so a later period can act on more evidence: the
+    /// guard against paying migration costs for ephemeral
+    /// correlations (§6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigInProgress`] if a wave is still running.
+    pub fn reconfigure_if_beneficial(
+        &mut self,
+        sim: &mut Simulation,
+        policy: ReconfigPolicy,
+    ) -> Result<Option<ReconfigSummary>, ReconfigInProgress> {
+        let (summary, plan) = self.compute(sim);
+        if summary.locality_gain() < policy.min_locality_gain
+            && summary.imbalance_gain() < policy.min_imbalance_gain
+        {
+            return Ok(None);
+        }
+        sim.start_reconfiguration(plan)?;
+        self.charge_metrics_upload(sim);
+        for hop in &self.hops {
+            for tracker in &hop.trackers {
+                tracker.reset();
+            }
+        }
+        Ok(Some(summary))
+    }
+
+    /// Debits the ①/② statistics upload from each instrumented
+    /// instance's NIC: ~24 bytes per monitored pair (two keys and a
+    /// count) plus framing.
+    fn charge_metrics_upload(&self, sim: &mut Simulation) {
+        for hop in &self.hops {
+            for (poi, tracker) in sim.poi_ids(hop.tracked_po).into_iter().zip(&hop.trackers) {
+                let bytes = tracker.snapshot().len() as u64 * 24 + 256;
+                let server = sim.poi_server(poi);
+                sim.charge_management_traffic(server, bytes);
+            }
+        }
+    }
+
+    /// Snapshots the currently deployed routing tables for stable
+    /// storage (paper §3.4: the manager persists every configuration
+    /// before reconfiguring). Pair with a
+    /// [`ConfigStore`](crate::ConfigStore).
+    #[must_use]
+    pub fn snapshot_configuration(&self, sim: &Simulation) -> SavedConfiguration {
+        let mut config = SavedConfiguration::new();
+        for (slot, (po, _)) in self.routed.iter().enumerate() {
+            config.insert(sim.topology().po(*po).name(), self.tables[slot].clone());
+        }
+        config
+    }
+
+    /// Re-installs a previously saved configuration after a manager
+    /// restart: tables are deployed immediately on every sender (no
+    /// wave, no migration — after a crash, state recovery is the
+    /// engine's concern, §3.4). Tables for operators absent from this
+    /// topology are ignored.
+    pub fn restore_configuration(
+        &mut self,
+        sim: &mut Simulation,
+        config: &SavedConfiguration,
+    ) {
+        for (slot, (po, in_edges)) in self.routed.iter().enumerate() {
+            let name = sim.topology().po(*po).name().to_owned();
+            let Some(table) = config.table(&name) else {
+                continue;
+            };
+            self.tables[slot] = table.clone();
+            let shared: Arc<dyn KeyRouter> = Arc::new(table.clone());
+            for &edge in in_edges {
+                let sender = sim.topology().edge(edge).from();
+                for poi in sim.poi_ids(sender) {
+                    sim.set_poi_router(poi, edge, Arc::clone(&shared));
+                }
+            }
+        }
+    }
+
+    /// Computes and *immediately* installs routing tables on every
+    /// sender, bypassing the protocol and migrating no state. Only
+    /// safe before any data has flowed (the paper's offline mode:
+    /// "optimized routing tables can be loaded at the start of the
+    /// application", §3.4).
+    pub fn apply_offline(&mut self, sim: &mut Simulation) -> ReconfigSummary {
+        let (summary, plan) = self.compute(sim);
+        for (poi, edge, router) in plan.routers {
+            sim.set_poi_router(poi, edge, router);
+        }
+        for hop in &self.hops {
+            for tracker in &hop.trackers {
+                tracker.reset();
+            }
+        }
+        summary
+    }
+
+    /// Builds the key graph, partitions it and assembles the plan.
+    fn compute(&mut self, sim: &Simulation) -> (ReconfigSummary, ReconfigPlan) {
+        let servers = sim.cluster().servers;
+        let mut builder = Graph::builder();
+        let mut vmap: HashMap<(PoId, Key), VertexId> = HashMap::new();
+        let mut pairs_observed = 0u64;
+        let mut edges_used = 0usize;
+        let mut current_local = 0u64;
+        let mut current_weight = 0u64;
+        let mut current_server_load = vec![0u64; servers];
+
+        for hop in &self.hops {
+            let mut merged: Option<SpaceSaving<(Key, Key)>> = None;
+            for tracker in &hop.trackers {
+                let snap = tracker.snapshot();
+                pairs_observed += snap.total();
+                merged = Some(match merged {
+                    None => snap,
+                    Some(m) => SpaceSaving::merged(&m, &snap, self.config.sketch_capacity),
+                });
+            }
+            let Some(merged) = merged else { continue };
+            // Where the *current* tables send each hop (for the
+            // impact estimate): the sender instances of both edges.
+            let cur_route = |edge: EdgeId, key: Key| -> Option<u32> {
+                let sender = sim.topology().edge(edge).from();
+                let poi = sim.poi_ids(sender)[0];
+                Some(sim.current_route(poi, edge, key))
+            };
+            let x_pois = sim.poi_ids(hop.tracked_po);
+            let y_pois = sim.poi_ids(hop.dest_po);
+            for entry in merged.iter().take(self.config.max_edges) {
+                let &(ka, kb) = entry.key;
+                let count = entry.count;
+                if count == 0 {
+                    continue;
+                }
+                if let Some(in_edge) = hop.in_edge {
+                    let sa = cur_route(in_edge, ka)
+                        .map(|i| sim.poi_server(x_pois[i as usize]));
+                    let sb = cur_route(hop.dest_edge, kb)
+                        .map(|i| sim.poi_server(y_pois[i as usize]));
+                    current_weight += count;
+                    if sa == sb {
+                        current_local += count;
+                    }
+                    if let Some(server) = sb {
+                        current_server_load[server.0] += count;
+                    }
+                }
+                let va = *vmap
+                    .entry((hop.tracked_po, ka))
+                    .or_insert_with(|| builder.add_vertex(0));
+                let vb = *vmap
+                    .entry((hop.dest_po, kb))
+                    .or_insert_with(|| builder.add_vertex(0));
+                builder.add_vertex_weight(va, count);
+                builder.add_vertex_weight(vb, count);
+                builder.add_edge(va, vb, count);
+                edges_used += 1;
+            }
+        }
+
+        let graph = builder.build();
+        let racks = sim.cluster().rack_count;
+        let partition = if self.config.rack_aware && racks > 1 && servers.is_multiple_of(racks) {
+            HierarchicalPartitioner::new(racks, servers / racks).partition(
+                &graph,
+                servers,
+                self.config.alpha,
+                self.config.seed,
+            )
+        } else {
+            self.config
+                .partitioner
+                .run(&graph, servers, self.config.alpha, self.config.seed)
+        };
+        let expected_locality = partition.locality(&graph);
+        let expected_imbalance = partition.imbalance(&graph);
+
+        // Turn parts (servers) into per-operator instance assignments.
+        let mut assignments: Vec<HashMap<Key, u32>> =
+            vec![HashMap::new(); self.routed.len()];
+        for (&(po, key), &vertex) in &vmap {
+            let Some(slot) = self.routed.iter().position(|&(p, _)| p == po) else {
+                continue;
+            };
+            let part = partition.part(vertex);
+            let instance = instance_on_server(sim, po, part as usize);
+            assignments[slot].insert(key, instance);
+        }
+
+        // Assemble tables, router updates and migrations.
+        let mut routers: Vec<(PoiId, EdgeId, Arc<dyn KeyRouter>)> = Vec::new();
+        let mut migrations = Vec::new();
+        let mut table_entries = 0usize;
+        for (slot, (_po, in_edges)) in self.routed.iter().enumerate() {
+            let table = RoutingTable::from_assignments(
+                assignments[slot].iter().map(|(&k, &i)| (k, i)),
+            );
+            table_entries += table.len();
+            if let Some(&first_edge) = in_edges.first() {
+                migrations.extend(sim.migrations_for(first_edge, &assignments[slot]));
+            }
+            let shared: Arc<dyn KeyRouter> = Arc::new(table.clone());
+            for &edge in in_edges {
+                let sender = sim.topology().edge(edge).from();
+                for poi in sim.poi_ids(sender) {
+                    routers.push((poi, edge, Arc::clone(&shared)));
+                }
+            }
+            self.tables[slot] = table;
+        }
+
+        let summary = ReconfigSummary {
+            expected_locality,
+            expected_imbalance,
+            migrations: migrations.len(),
+            table_entries,
+            pairs_observed,
+            edges_used,
+            current_locality: if current_weight == 0 {
+                0.0
+            } else {
+                current_local as f64 / current_weight as f64
+            },
+            current_imbalance: {
+                let total: u64 = current_server_load.iter().sum();
+                if total == 0 {
+                    1.0
+                } else {
+                    let avg = total as f64 / servers as f64;
+                    *current_server_load.iter().max().expect("servers > 0") as f64 / avg
+                }
+            },
+        };
+        (
+            summary,
+            ReconfigPlan {
+                routers,
+                migrations,
+            },
+        )
+    }
+}
+
+/// The instance of `po` hosted on server `server`, falling back to
+/// `server % parallelism` when the placement puts no instance there.
+fn instance_on_server(sim: &Simulation, po: PoId, server: usize) -> u32 {
+    let pois = sim.poi_ids(po);
+    pois.iter()
+        .position(|&poi| sim.poi_server(poi).0 == server)
+        .unwrap_or(server % pois.len()) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamloc_engine::{
+        ClusterSpec, CountOperator, Placement, SimConfig, SourceRate, Topology, Tuple,
+    };
+
+    /// The paper's chain with a perfectly correlated synthetic source:
+    /// tuple (i, i + n) — key i routes A, key i+n routes B, and the
+    /// pair is deterministic, so ideal tables achieve 100% locality.
+    fn correlated_sim(n: usize) -> Simulation {
+        let keys = n as u64 * 4;
+        let mut b = Topology::builder();
+        let s = b.source("S", n, SourceRate::PerSecond(20_000.0), move |i| {
+            let mut c = i as u64;
+            Box::new(move || {
+                c = c.wrapping_add(0x9e37_79b9);
+                let ka = c % keys;
+                Some(Tuple::new([Key::new(ka), Key::new(ka + keys)], 64))
+            })
+        });
+        let a = b.stateful("A", n, CountOperator::factory());
+        let bb = b.stateful("B", n, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        b.connect(a, bb, Grouping::fields(1));
+        let topo = b.build().unwrap();
+        let cluster = ClusterSpec::lan_10g(n);
+        let placement = Placement::aligned(&topo, n);
+        Simulation::new(topo, cluster, placement, SimConfig::default())
+    }
+
+    #[test]
+    fn attach_finds_the_hop() {
+        let mut sim = correlated_sim(2);
+        let mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        assert_eq!(mgr.hop_count(), 1);
+        assert_eq!(mgr.pairs_observed(), 0);
+    }
+
+    #[test]
+    fn no_hop_without_consecutive_stateful() {
+        let mut b = Topology::builder();
+        let s = b.source("S", 1, SourceRate::Saturate, |_| {
+            Box::new(|| Some(Tuple::new([Key::new(0)], 0)))
+        });
+        let a = b.stateful("A", 1, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        let topo = b.build().unwrap();
+        let placement = Placement::aligned(&topo, 1);
+        let mut sim = Simulation::new(
+            topo,
+            ClusterSpec::lan_10g(1),
+            placement,
+            SimConfig::default(),
+        );
+        let mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        assert_eq!(mgr.hop_count(), 0);
+    }
+
+    #[test]
+    fn reconfigure_raises_locality_to_one() {
+        let n = 3;
+        let mut sim = correlated_sim(n);
+        let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+
+        sim.run(20);
+        assert!(mgr.pairs_observed() > 0);
+        let a_po = sim.topology().po_by_name("A").unwrap();
+        let b_po = sim.topology().po_by_name("B").unwrap();
+        let edge_ab = sim.topology().edge_between(a_po, b_po).unwrap();
+        let before = sim.metrics().edge_locality(edge_ab, 0);
+        assert!(before < 0.6, "hash locality {before} should be ~1/n");
+
+        let summary = mgr.reconfigure(&mut sim).unwrap();
+        assert!(summary.expected_locality > 0.99, "{summary:?}");
+        assert!(summary.table_entries > 0);
+        assert_eq!(mgr.pairs_observed(), 0, "stats reset after reconfig");
+
+        sim.run(40);
+        assert!(!sim.reconfig_active());
+        assert_eq!(sim.pending_migrations(), 0);
+        let windows = sim.metrics().windows();
+        let tail = &windows[windows.len() - 10..];
+        let (mut local, mut remote) = (0u64, 0u64);
+        for w in tail {
+            local += w.edges[edge_ab.index()].local;
+            remote += w.edges[edge_ab.index()].remote;
+        }
+        let after = local as f64 / (local + remote).max(1) as f64;
+        assert!(
+            after > 0.95,
+            "post-reconfig locality {after} should be near 1"
+        );
+    }
+
+    #[test]
+    fn load_stays_balanced() {
+        let n = 3;
+        let mut sim = correlated_sim(n);
+        let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(20);
+        let summary = mgr.reconfigure(&mut sim).unwrap();
+        assert!(
+            summary.expected_imbalance < 1.25,
+            "imbalance {} too high",
+            summary.expected_imbalance
+        );
+        sim.run(40);
+        let b_po = sim.topology().po_by_name("B").unwrap();
+        let pois = sim.poi_ids(b_po);
+        let imbalance = sim.metrics().load_imbalance(&pois, 40);
+        assert!(imbalance < 1.3, "runtime imbalance {imbalance} too high");
+    }
+
+    #[test]
+    fn tables_cover_both_operators() {
+        let mut sim = correlated_sim(2);
+        let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(10);
+        mgr.reconfigure(&mut sim).unwrap();
+        let a = sim.topology().po_by_name("A").unwrap();
+        let b = sim.topology().po_by_name("B").unwrap();
+        assert!(mgr.table_for(a).is_some_and(|t| !t.is_empty()));
+        assert!(mgr.table_for(b).is_some_and(|t| !t.is_empty()));
+        assert!(mgr.table_for(sim.topology().po_by_name("S").unwrap()).is_none());
+    }
+
+    #[test]
+    fn correlated_keys_colocate() {
+        let mut sim = correlated_sim(2);
+        let keys = 2u64 * 4;
+        let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(15);
+        mgr.reconfigure(&mut sim).unwrap();
+        let a = sim.topology().po_by_name("A").unwrap();
+        let b = sim.topology().po_by_name("B").unwrap();
+        let ta = mgr.table_for(a).unwrap();
+        let tb = mgr.table_for(b).unwrap();
+        // Pair (k, k + keys) must be assigned to the same server
+        // (= instance, with aligned placement).
+        let mut checked = 0;
+        for k in 0..keys {
+            if let (Some(ia), Some(ib)) = (ta.get(Key::new(k)), tb.get(Key::new(k + keys))) {
+                assert_eq!(ia, ib, "correlated pair ({k}) split across servers");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no pair covered by the tables");
+    }
+
+    #[test]
+    fn reconfigure_while_wave_active_fails_and_keeps_stats() {
+        let mut sim = correlated_sim(2);
+        let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(10);
+        mgr.reconfigure(&mut sim).unwrap();
+        // Wave still propagating (no step since): second call fails.
+        let before = mgr.pairs_observed();
+        assert!(mgr.reconfigure(&mut sim).is_err());
+        assert_eq!(mgr.pairs_observed(), before);
+    }
+
+    #[test]
+    fn apply_offline_installs_tables_without_migration() {
+        let mut sim = correlated_sim(2);
+        let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(10);
+        let summary = mgr.apply_offline(&mut sim);
+        assert!(summary.expected_locality > 0.99);
+        assert!(!sim.reconfig_active(), "offline mode bypasses the wave");
+        sim.run(20);
+        assert_eq!(sim.pending_migrations(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Explicit key → instance routing tables with hash fallback.
+
+use std::collections::HashMap;
+
+use streamloc_engine::{HashRouter, Key, KeyRouter};
+
+/// A routing table for fields grouping: explicitly assigns the
+/// monitored keys to operator instances and falls back to hash routing
+/// for every other key (paper §3.3: "When a key is not present in the
+/// routing table, it falls back to the standard hash-based routing
+/// policy").
+///
+/// # Example
+///
+/// ```
+/// use streamloc_core::RoutingTable;
+/// use streamloc_engine::{HashRouter, Key, KeyRouter};
+///
+/// let table = RoutingTable::from_assignments([(Key::new(7), 2)]);
+/// assert_eq!(table.route(Key::new(7), 4), 2);
+/// // Unknown keys take the hash route.
+/// let k = Key::new(100);
+/// assert_eq!(table.route(k, 4), HashRouter.route(k, 4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingTable {
+    table: HashMap<Key, u32>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table (pure hash routing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table from explicit `(key, instance)` assignments.
+    #[must_use]
+    pub fn from_assignments<I>(assignments: I) -> Self
+    where
+        I: IntoIterator<Item = (Key, u32)>,
+    {
+        Self {
+            table: assignments.into_iter().collect(),
+        }
+    }
+
+    /// Adds or replaces one assignment.
+    pub fn insert(&mut self, key: Key, instance: u32) {
+        self.table.insert(key, instance);
+    }
+
+    /// Explicit assignment of `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: Key) -> Option<u32> {
+        self.table.get(&key).copied()
+    }
+
+    /// Number of explicitly routed keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` when every key falls back to hashing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over the explicit `(key, instance)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, u32)> + '_ {
+        self.table.iter().map(|(&k, &i)| (k, i))
+    }
+}
+
+impl KeyRouter for RoutingTable {
+    fn route(&self, key: Key, instances: usize) -> u32 {
+        match self.table.get(&key) {
+            // A stale table entry pointing past the current parallelism
+            // degrades to hashing rather than panicking.
+            Some(&i) if (i as usize) < instances => i,
+            _ => HashRouter.route(key, instances),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "table"
+    }
+}
+
+impl FromIterator<(Key, u32)> for RoutingTable {
+    fn from_iter<I: IntoIterator<Item = (Key, u32)>>(iter: I) -> Self {
+        Self::from_assignments(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_entries_override_hash() {
+        let mut t = RoutingTable::new();
+        assert!(t.is_empty());
+        t.insert(Key::new(1), 3);
+        t.insert(Key::new(2), 0);
+        assert_eq!(t.route(Key::new(1), 4), 3);
+        assert_eq!(t.route(Key::new(2), 4), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(Key::new(1)), Some(3));
+        assert_eq!(t.get(Key::new(9)), None);
+    }
+
+    #[test]
+    fn fallback_matches_hash_router() {
+        let t = RoutingTable::new();
+        for v in 0..50 {
+            let k = Key::new(v);
+            for n in 1..8 {
+                assert_eq!(t.route(k, n), HashRouter.route(k, n));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_entry_degrades_to_hash() {
+        let t = RoutingTable::from_assignments([(Key::new(5), 10)]);
+        assert_eq!(t.route(Key::new(5), 4), HashRouter.route(Key::new(5), 4));
+        // But valid again if parallelism grows.
+        assert_eq!(t.route(Key::new(5), 11), 10);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let t: RoutingTable = (0..10u64).map(|v| (Key::new(v), (v % 3) as u32)).collect();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.route(Key::new(4), 3), 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Stable storage for routing configurations.
+//!
+//! Paper §3.4: "To handle fault tolerance, the manager saves all
+//! routing configurations to stable storage before starting
+//! reconfiguration." This module provides the snapshot format and two
+//! stores (in-memory for tests, filesystem for real use); after a
+//! manager restart, [`Manager::restore_configuration`] re-installs the
+//! last saved tables.
+//!
+//! [`Manager::restore_configuration`]: crate::Manager::restore_configuration
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+
+use streamloc_engine::Key;
+
+use crate::routing_table::RoutingTable;
+
+/// Magic header of the binary snapshot format.
+const MAGIC: &[u8; 8] = b"SLOCCFG1";
+
+/// A point-in-time snapshot of every routing table the manager has
+/// deployed, keyed by operator name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SavedConfiguration {
+    tables: BTreeMap<String, RoutingTable>,
+}
+
+impl SavedConfiguration {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) the table for operator `po_name`.
+    pub fn insert(&mut self, po_name: &str, table: RoutingTable) {
+        self.tables.insert(po_name.to_owned(), table);
+    }
+
+    /// The table saved for `po_name`, if any.
+    #[must_use]
+    pub fn table(&self, po_name: &str) -> Option<&RoutingTable> {
+        self.tables.get(po_name)
+    }
+
+    /// Iterates over `(operator name, table)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &RoutingTable)> {
+        self.tables.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Number of tables in the snapshot.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` when the snapshot holds no tables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Serializes to the stable binary format (deterministic: tables
+    /// and entries are written in sorted order).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.tables.len() as u32).to_le_bytes());
+        for (name, table) in &self.tables {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            let mut entries: Vec<(Key, u32)> = table.iter().collect();
+            entries.sort_by_key(|&(k, _)| k);
+            out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+            for (key, instance) in entries {
+                out.extend_from_slice(&key.value().to_le_bytes());
+                out.extend_from_slice(&instance.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the stable binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        fn bad(msg: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::InvalidData, msg.to_owned())
+        }
+        if bytes.len() < 8 || &bytes[..8] != MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let mut pos = 8usize;
+        let read_u32_at = |bytes: &[u8], pos: &mut usize| -> io::Result<u32> {
+            let end = pos.checked_add(4).ok_or_else(|| bad("overflow"))?;
+            let slice = bytes.get(*pos..end).ok_or_else(|| bad("truncated"))?;
+            *pos = end;
+            Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+        };
+        let read_u64_at = |bytes: &[u8], pos: &mut usize| -> io::Result<u64> {
+            let end = pos.checked_add(8).ok_or_else(|| bad("overflow"))?;
+            let slice = bytes.get(*pos..end).ok_or_else(|| bad("truncated"))?;
+            *pos = end;
+            Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+        };
+        let table_count = read_u32_at(bytes, &mut pos)?;
+        let mut tables = BTreeMap::new();
+        for _ in 0..table_count {
+            let name_len = read_u32_at(bytes, &mut pos)? as usize;
+            let end = pos.checked_add(name_len).ok_or_else(|| bad("overflow"))?;
+            let name_bytes = bytes.get(pos..end).ok_or_else(|| bad("truncated"))?;
+            pos = end;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| bad("name not utf-8"))?
+                .to_owned();
+            let entry_count = read_u32_at(bytes, &mut pos)?;
+            let mut table = RoutingTable::new();
+            for _ in 0..entry_count {
+                let key = read_u64_at(bytes, &mut pos)?;
+                let instance = read_u32_at(bytes, &mut pos)?;
+                table.insert(Key::new(key), instance);
+            }
+            tables.insert(name, table);
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(Self { tables })
+    }
+}
+
+/// Stable storage of configuration snapshots, by monotonically
+/// increasing epoch.
+pub trait ConfigStore: Send {
+    /// Persists `config` under `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the backing medium.
+    fn save(&mut self, epoch: u64, config: &SavedConfiguration) -> io::Result<()>;
+
+    /// Loads the snapshot with the highest epoch, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and decoding errors.
+    fn load_latest(&self) -> io::Result<Option<(u64, SavedConfiguration)>>;
+}
+
+/// In-memory store, for tests and single-process deployments.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    epochs: Vec<(u64, Vec<u8>)>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of snapshots held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// `true` when no snapshot has been saved.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+}
+
+impl ConfigStore for MemoryStore {
+    fn save(&mut self, epoch: u64, config: &SavedConfiguration) -> io::Result<()> {
+        self.epochs.push((epoch, config.to_bytes()));
+        Ok(())
+    }
+
+    fn load_latest(&self) -> io::Result<Option<(u64, SavedConfiguration)>> {
+        let Some((epoch, bytes)) = self.epochs.iter().max_by_key(|&&(e, _)| e) else {
+            return Ok(None);
+        };
+        Ok(Some((*epoch, SavedConfiguration::from_bytes(bytes)?)))
+    }
+}
+
+/// Filesystem store: one `config-<epoch>.slocc` file per snapshot in a
+/// directory.
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn path_for(&self, epoch: u64) -> PathBuf {
+        self.dir.join(format!("config-{epoch:020}.slocc"))
+    }
+}
+
+impl ConfigStore for FileStore {
+    fn save(&mut self, epoch: u64, config: &SavedConfiguration) -> io::Result<()> {
+        // Write-then-rename so a crash never leaves a torn snapshot.
+        let tmp = self.dir.join(format!(".config-{epoch:020}.tmp"));
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&config.to_bytes())?;
+        file.sync_all()?;
+        fs::rename(&tmp, self.path_for(epoch))
+    }
+
+    fn load_latest(&self) -> io::Result<Option<(u64, SavedConfiguration)>> {
+        let mut best: Option<(u64, PathBuf)> = None;
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(epoch_str) = name
+                .strip_prefix("config-")
+                .and_then(|s| s.strip_suffix(".slocc"))
+            else {
+                continue;
+            };
+            let Ok(epoch) = epoch_str.parse::<u64>() else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|&(e, _)| epoch > e) {
+                best = Some((epoch, entry.path()));
+            }
+        }
+        let Some((epoch, path)) = best else {
+            return Ok(None);
+        };
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(Some((epoch, SavedConfiguration::from_bytes(&bytes)?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SavedConfiguration {
+        let mut config = SavedConfiguration::new();
+        config.insert(
+            "by_hashtag",
+            RoutingTable::from_assignments([(Key::new(5), 2), (Key::new(9), 0)]),
+        );
+        config.insert(
+            "by_location",
+            RoutingTable::from_assignments([(Key::new(1), 1)]),
+        );
+        config
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let config = sample();
+        let bytes = config.to_bytes();
+        let decoded = SavedConfiguration::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, config);
+        assert_eq!(decoded.table("by_hashtag").unwrap().get(Key::new(5)), Some(2));
+        assert_eq!(decoded.len(), 2);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(SavedConfiguration::from_bytes(b"not a snapshot").is_err());
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(SavedConfiguration::from_bytes(&bytes).is_err());
+        bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(SavedConfiguration::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn memory_store_returns_latest_epoch() {
+        let mut store = MemoryStore::new();
+        assert!(store.load_latest().unwrap().is_none());
+        store.save(3, &sample()).unwrap();
+        let mut newer = sample();
+        newer.insert("extra", RoutingTable::new());
+        store.save(7, &newer).unwrap();
+        store.save(5, &sample()).unwrap();
+        let (epoch, loaded) = store.load_latest().unwrap().unwrap();
+        assert_eq!(epoch, 7);
+        assert_eq!(loaded, newer);
+        assert_eq!(store.len(), 3);
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "streamloc-store-test-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let mut store = FileStore::open(&dir).unwrap();
+        assert!(store.load_latest().unwrap().is_none());
+        store.save(1, &sample()).unwrap();
+        store.save(12, &sample()).unwrap();
+        let (epoch, loaded) = store.load_latest().unwrap().unwrap();
+        assert_eq!(epoch, 12);
+        assert_eq!(loaded, sample());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_configuration_roundtrips() {
+        let config = SavedConfiguration::new();
+        assert!(config.is_empty());
+        let decoded = SavedConfiguration::from_bytes(&config.to_bytes()).unwrap();
+        assert!(decoded.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! SpaceSaving-backed pair instrumentation for stateful instances.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use streamloc_engine::{Key, PairObserver};
+use streamloc_sketch::SpaceSaving;
+
+/// The per-instance statistics collector of paper §3.2: counts the
+/// `(input key, output key)` pairs flowing through a stateful
+/// instance, in bounded memory, using the SpaceSaving sketch.
+///
+/// A tracker is shared between the engine (which feeds observations
+/// through the [`PairObserver`] hook) and the manager (which snapshots
+/// and resets it at every reconfiguration) — hence the internal lock.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_core::PairTracker;
+/// use streamloc_engine::{Key, PairObserver};
+///
+/// let tracker = PairTracker::new(100);
+/// tracker.handle().observe(Key::new(1), Key::new(2));
+/// tracker.handle().observe(Key::new(1), Key::new(2));
+/// let top = tracker.snapshot().top_k(1);
+/// assert_eq!(top[0].0, (Key::new(1), Key::new(2)));
+/// assert_eq!(top[0].1.count, 2);
+/// ```
+#[derive(Debug)]
+pub struct PairTracker {
+    sketch: Mutex<SpaceSaving<(Key, Key)>>,
+}
+
+impl PairTracker {
+    /// Creates a tracker monitoring at most `capacity` distinct pairs.
+    ///
+    /// With 1 MB per instance the paper monitors on the order of 10^4
+    /// to 10^5 pairs; `capacity` plays that role here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            sketch: Mutex::new(SpaceSaving::new(capacity)),
+        })
+    }
+
+    /// An observer handle to install on the engine side
+    /// ([`streamloc_engine::Simulation::set_pair_observer`]).
+    #[must_use]
+    pub fn handle(self: &Arc<Self>) -> TrackerHandle {
+        TrackerHandle(Arc::clone(self))
+    }
+
+    /// A copy of the current pair statistics (the ② `SEND_METRICS`
+    /// payload).
+    #[must_use]
+    pub fn snapshot(&self) -> SpaceSaving<(Key, Key)> {
+        self.sketch.lock().clone()
+    }
+
+    /// Total pairs observed since the last reset.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.sketch.lock().total()
+    }
+
+    /// Discards all statistics, so the next period only reflects fresh
+    /// data (paper §3.2: "Whenever the routing of keys is updated, the
+    /// statistics are reinitialized").
+    pub fn reset(&self) {
+        self.sketch.lock().clear();
+    }
+}
+
+/// The engine-facing side of a [`PairTracker`].
+#[derive(Debug, Clone)]
+pub struct TrackerHandle(Arc<PairTracker>);
+
+impl PairObserver for TrackerHandle {
+    fn observe(&mut self, input: Key, output: Key) {
+        self.0.sketch.lock().offer((input, output));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observes_and_snapshots() {
+        let tracker = PairTracker::new(16);
+        let mut handle = tracker.handle();
+        for _ in 0..5 {
+            handle.observe(Key::new(1), Key::new(10));
+        }
+        handle.observe(Key::new(2), Key::new(20));
+        assert_eq!(tracker.total(), 6);
+        let snap = tracker.snapshot();
+        assert_eq!(snap.get(&(Key::new(1), Key::new(10))).unwrap().count, 5);
+        assert_eq!(snap.get(&(Key::new(2), Key::new(20))).unwrap().count, 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let tracker = PairTracker::new(16);
+        tracker.handle().observe(Key::new(1), Key::new(2));
+        tracker.reset();
+        assert_eq!(tracker.total(), 0);
+        assert!(tracker.snapshot().is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let tracker = PairTracker::new(4);
+        let mut handle = tracker.handle();
+        for i in 0..100 {
+            handle.observe(Key::new(i % 10), Key::new(i % 7));
+        }
+        assert!(tracker.snapshot().len() <= 4);
+        assert_eq!(tracker.total(), 100);
+    }
+
+    #[test]
+    fn handles_share_one_sketch() {
+        let tracker = PairTracker::new(8);
+        let mut h1 = tracker.handle();
+        let mut h2 = tracker.handle();
+        h1.observe(Key::new(1), Key::new(1));
+        h2.observe(Key::new(1), Key::new(1));
+        assert_eq!(tracker.total(), 2);
+    }
+}

@@ -1,0 +1,1107 @@
+//! A real multi-threaded runtime executing the same [`Topology`] the
+//! simulator models: one OS thread per operator instance, bounded
+//! crossbeam channels between them, and the online reconfiguration
+//! protocol of paper §3.4 running over actual message passing.
+//!
+//! The simulator (`sim.rs`) answers *performance* questions with a
+//! controlled cost model; this runtime answers *functional* ones — it
+//! executes user operators for real, under real thread interleavings,
+//! with real backpressure. The reconfiguration wave (SEND_RECONF →
+//! ACK → PROPAGATE → MIGRATE with tuple buffering) is the same
+//! algorithm, here exercised against genuine concurrency instead of
+//! deterministic windows. "Servers" are placement tags: transfers
+//! between instances with different tags are counted as remote, so
+//! locality statistics remain meaningful even though everything runs
+//! in one process.
+//!
+//! Termination is by end-of-stream tokens: an exhausted (or stopped)
+//! source sends `Eos` to every successor instance; an operator
+//! forwards `Eos` once it has received one from every predecessor
+//! instance and holds no tuple buffered for in-flight state — so
+//! [`LiveRuntime::join`] returns exactly when the pipeline has fully
+//! drained.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crate::key::Key;
+use crate::operator::{OpContext, Operator, StateValue};
+
+/// Per-edge router updates carried by a `Reconf` message.
+type RouterUpdates = Vec<(EdgeId, Arc<dyn KeyRouter>)>;
+use crate::router::{HashRouter, KeyRouter};
+use crate::sim::{PairObserver, Placement};
+use crate::topology::{EdgeId, Grouping, PoId, PoKind, SourceRate, Topology, TupleSource};
+use crate::tuple::Tuple;
+
+/// Messages on an instance's inbox. Data and control share one FIFO
+/// channel per receiver (like a TCP connection in Storm), so per-
+/// sender ordering guarantees hold for `Eos`.
+enum Msg {
+    /// A data tuple.
+    Data(Tuple),
+    /// ③ New configuration for this instance.
+    Reconf {
+        routers: RouterUpdates,
+        send: Vec<(Key, usize)>,
+        receive: Vec<Key>,
+    },
+    /// ⑤ One predecessor instance (or the coordinator) has switched.
+    Propagate,
+    /// ⑥ Migrated state for a key this instance now owns.
+    Migrate {
+        key: Key,
+        state: Option<StateValue>,
+    },
+    /// End of stream from one predecessor instance.
+    Eos,
+    /// Snapshot request: reply with a clone of the keyed state.
+    StateProbe(Sender<HashMap<Key, StateValue>>),
+}
+
+/// Worker → coordinator notifications.
+enum CoordMsg {
+    /// ④ An instance staged its new configuration.
+    Ack,
+    /// An instance applied its configuration and forwarded the wave.
+    Applied,
+    /// An instance shut down (its `Eos` tokens are out).
+    Exited,
+}
+
+/// Per-edge transfer counters shared with the caller.
+#[derive(Debug, Default)]
+struct EdgeCounters {
+    local: AtomicU64,
+    remote: AtomicU64,
+}
+
+/// An instrumentation registration for the live runtime:
+/// `(operator, instance, out edge, observed field, observer)`.
+pub type LiveObserver = (PoId, usize, EdgeId, usize, Box<dyn PairObserver>);
+
+/// The per-edge observer slots a worker holds.
+type ObserverSlots = HashMap<usize, Vec<(usize, Box<dyn PairObserver>)>>;
+
+/// A reconfiguration for the live runtime, in instance coordinates.
+pub struct LiveReconfig {
+    /// `(sender po, out edge, new router)` — installed on every
+    /// instance of the sender operator.
+    pub routers: Vec<(PoId, EdgeId, Arc<dyn KeyRouter>)>,
+    /// `(operator, key, old instance, new instance)` state transfers.
+    pub migrations: Vec<(PoId, Key, usize, usize)>,
+}
+
+impl std::fmt::Debug for LiveReconfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveReconfig")
+            .field("router_updates", &self.routers.len())
+            .field("migrations", &self.migrations.len())
+            .finish()
+    }
+}
+
+/// Final report of one operator instance after shutdown.
+#[derive(Debug)]
+pub struct InstanceReport {
+    /// The operator this instance belonged to.
+    pub po: PoId,
+    /// Instance index within the operator.
+    pub instance: usize,
+    /// Keyed state at shutdown (empty for sources and stateless).
+    pub state: HashMap<Key, StateValue>,
+    /// Tuples processed (for sources: tuples emitted).
+    pub processed: u64,
+}
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Bounded capacity of each instance inbox (backpressure).
+    pub channel_capacity: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            channel_capacity: 8_192,
+        }
+    }
+}
+
+/// Static routing description of one out edge (shared by the
+/// instances of its sender operator).
+struct OutInfo {
+    edge: usize,
+    dest_po: usize,
+    field: Option<usize>,
+    local_or_shuffle: bool,
+    router: Arc<dyn KeyRouter>,
+}
+
+/// Everything workers share.
+struct WorkerShared {
+    inboxes: Vec<Sender<Msg>>,
+    server: Vec<usize>,
+    edges: Vec<EdgeCounters>,
+    stop: AtomicBool,
+    coord: Sender<CoordMsg>,
+    outs: Vec<Vec<OutInfo>>,
+    parallelism: Vec<usize>,
+    poi_base: Vec<usize>,
+}
+
+/// Per-worker context threaded through the routing helper.
+struct WorkerCtx {
+    po_idx: usize,
+    my_idx: usize,
+    rr: usize,
+    overrides: HashMap<usize, Arc<dyn KeyRouter>>,
+}
+
+impl WorkerCtx {
+    fn route_out(&mut self, shared: &WorkerShared, tuple: Tuple) {
+        let my_server = shared.server[self.my_idx];
+        for out in &shared.outs[self.po_idx] {
+            let dest_parallelism = shared.parallelism[out.dest_po];
+            let dest_instance = match out.field {
+                Some(field) => {
+                    let router = self.overrides.get(&out.edge).unwrap_or(&out.router);
+                    router.route(tuple.key(field), dest_parallelism) as usize
+                }
+                None => {
+                    self.rr = self.rr.wrapping_add(1);
+                    if out.local_or_shuffle {
+                        let base = shared.poi_base[out.dest_po];
+                        let locals: Vec<usize> = (0..dest_parallelism)
+                            .filter(|&i| shared.server[base + i] == my_server)
+                            .collect();
+                        if locals.is_empty() {
+                            self.rr % dest_parallelism
+                        } else {
+                            locals[self.rr % locals.len()]
+                        }
+                    } else {
+                        self.rr % dest_parallelism
+                    }
+                }
+            };
+            let dest_idx = shared.poi_base[out.dest_po] + dest_instance;
+            let counters = &shared.edges[out.edge];
+            if shared.server[dest_idx] != my_server {
+                counters.remote.fetch_add(1, Ordering::Relaxed);
+            } else {
+                counters.local.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = shared.inboxes[dest_idx].send(Msg::Data(tuple));
+        }
+    }
+}
+
+/// A running multi-threaded deployment of a [`Topology`].
+///
+/// # Example
+///
+/// ```
+/// use streamloc_engine::{
+///     CountOperator, Grouping, Key, LiveConfig, LiveRuntime, Placement,
+///     SourceRate, Topology, Tuple,
+/// };
+///
+/// let mut builder = Topology::builder();
+/// let s = builder.source("S", 2, SourceRate::Saturate, |i| {
+///     let mut left = 1000u32;
+///     let mut c = i as u64;
+///     Box::new(move || {
+///         if left == 0 {
+///             return None;
+///         }
+///         left -= 1;
+///         c += 1;
+///         Some(Tuple::new([Key::new(c % 8)], 0))
+///     })
+/// });
+/// let a = builder.stateful("A", 2, CountOperator::factory());
+/// builder.connect(s, a, Grouping::fields(0));
+/// let topology = builder.build()?;
+///
+/// let placement = Placement::aligned(&topology, 2);
+/// let runtime = LiveRuntime::start(topology, placement, 2, LiveConfig::default());
+/// let reports = runtime.join();
+/// let counted: u64 = reports
+///     .iter()
+///     .flat_map(|r| r.state.values())
+///     .filter_map(|v| v.as_count())
+///     .sum();
+/// assert_eq!(counted, 2000);
+/// # Ok::<(), streamloc_engine::BuildTopologyError>(())
+/// ```
+pub struct LiveRuntime {
+    shared: Arc<WorkerShared>,
+    handles: Vec<JoinHandle<InstanceReport>>,
+    coord_rx: Receiver<CoordMsg>,
+    roots: Vec<usize>,
+    n_instances: usize,
+}
+
+impl std::fmt::Debug for LiveRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveRuntime")
+            .field("instances", &self.n_instances)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LiveRuntime {
+    /// Deploys `topology` on `servers` placement tags and starts every
+    /// instance thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement references servers outside
+    /// `0..servers`.
+    #[must_use]
+    pub fn start(
+        topology: Topology,
+        placement: Placement,
+        servers: usize,
+        config: LiveConfig,
+    ) -> Self {
+        Self::start_with_observers(topology, placement, servers, config, Vec::new())
+    }
+
+    /// Like [`start`](Self::start), additionally installing pair
+    /// observers: `(operator, instance, out edge, observed field,
+    /// observer)` — the §3.2 instrumentation for live deployments.
+    /// The observed field is normally the routed field of the edge;
+    /// see [`Simulation::set_pair_observer`] for the
+    /// through-stateless case.
+    ///
+    /// [`Simulation::set_pair_observer`]: crate::Simulation::set_pair_observer
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement references servers outside
+    /// `0..servers`.
+    #[must_use]
+    pub fn start_with_observers(
+        topology: Topology,
+        placement: Placement,
+        servers: usize,
+        config: LiveConfig,
+        observers: Vec<LiveObserver>,
+    ) -> Self {
+        assert!(servers > 0, "at least one server tag");
+        let n_pos = topology.operator_count();
+        let mut poi_base = Vec::with_capacity(n_pos);
+        let mut parallelism = Vec::with_capacity(n_pos);
+        let mut next = 0usize;
+        for po_idx in 0..n_pos {
+            poi_base.push(next);
+            let p = topology.po(PoId(po_idx)).parallelism();
+            parallelism.push(p);
+            next += p;
+        }
+        let n_instances = next;
+
+        let mut inboxes = Vec::with_capacity(n_instances);
+        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n_instances);
+        for _ in 0..n_instances {
+            let (tx, rx) = bounded::<Msg>(config.channel_capacity);
+            inboxes.push(tx);
+            receivers.push(Some(rx));
+        }
+        let mut server = Vec::with_capacity(n_instances);
+        for (po_idx, &p) in parallelism.iter().enumerate() {
+            for i in 0..p {
+                let tag = placement.server(PoId(po_idx), i).0;
+                assert!(tag < servers, "placement server out of range");
+                server.push(tag);
+            }
+        }
+        let (coord_tx, coord_rx) = unbounded();
+
+        let mut outs: Vec<Vec<OutInfo>> = Vec::with_capacity(n_pos);
+        for po_idx in 0..n_pos {
+            outs.push(
+                topology
+                    .out_edges(PoId(po_idx))
+                    .iter()
+                    .map(|&eid| {
+                        let e = topology.edge(eid);
+                        let (field, router, los): (Option<usize>, Arc<dyn KeyRouter>, bool) =
+                            match e.grouping() {
+                                Grouping::Fields { field, router } => {
+                                    (Some(*field), Arc::clone(router), false)
+                                }
+                                Grouping::LocalOrShuffle => (None, Arc::new(HashRouter), true),
+                                Grouping::Shuffle => (None, Arc::new(HashRouter), false),
+                            };
+                        OutInfo {
+                            edge: eid.index(),
+                            dest_po: e.to().index(),
+                            field,
+                            local_or_shuffle: los,
+                            router,
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        let state_fields: Vec<Option<usize>> = (0..n_pos)
+            .map(|po_idx| topology.state_field(PoId(po_idx)))
+            .collect();
+        let pred_instances: Vec<usize> = (0..n_pos)
+            .map(|po_idx| {
+                topology
+                    .in_edges(PoId(po_idx))
+                    .iter()
+                    .map(|&e| parallelism[topology.edge(e).from().index()])
+                    .sum()
+            })
+            .collect();
+        let succ_instances: Vec<Vec<usize>> = (0..n_pos)
+            .map(|po_idx| {
+                topology
+                    .out_edges(PoId(po_idx))
+                    .iter()
+                    .flat_map(|&e| {
+                        let to = topology.edge(e).to().index();
+                        let base = poi_base[to];
+                        (0..parallelism[to]).map(move |i| base + i)
+                    })
+                    .collect()
+            })
+            .collect();
+        let roots: Vec<usize> = (0..n_pos)
+            .filter(|&po| topology.in_edges(PoId(po)).is_empty())
+            .flat_map(|po| {
+                let base = poi_base[po];
+                (0..parallelism[po]).map(move |i| base + i)
+            })
+            .collect();
+
+        let shared = Arc::new(WorkerShared {
+            inboxes,
+            server,
+            edges: (0..topology.edges().len())
+                .map(|_| EdgeCounters::default())
+                .collect(),
+            stop: AtomicBool::new(false),
+            coord: coord_tx,
+            outs,
+            parallelism: parallelism.clone(),
+            poi_base: poi_base.clone(),
+        });
+
+        type ObserverEntry = (EdgeId, usize, Box<dyn PairObserver>);
+        let mut observer_map: HashMap<(usize, usize), Vec<ObserverEntry>> = HashMap::new();
+        for (po, instance, edge, field, obs) in observers {
+            observer_map
+                .entry((po.index(), instance))
+                .or_default()
+                .push((edge, field, obs));
+        }
+
+        let Topology { pos, .. } = topology;
+        let mut handles = Vec::with_capacity(n_instances);
+        for (po_idx, po) in pos.into_iter().enumerate() {
+            let base = poi_base[po_idx];
+            for instance in 0..po.parallelism {
+                let shared = Arc::clone(&shared);
+                let rx = receivers[base + instance].take().expect("unique receiver");
+                let succs = succ_instances[po_idx].clone();
+                match &po.kind {
+                    PoKind::Source { factory, rate } => {
+                        let gen = factory(instance);
+                        let rate = *rate;
+                        handles.push(std::thread::spawn(move || {
+                            source_loop(po_idx, instance, gen, rate, shared, succs, rx)
+                        }));
+                    }
+                    PoKind::Operator { factory, stateful } => {
+                        let op = factory(instance);
+                        let stateful = *stateful;
+                        let state_field = state_fields[po_idx];
+                        let preds = pred_instances[po_idx];
+                        let obs = observer_map.remove(&(po_idx, instance)).unwrap_or_default();
+                        handles.push(std::thread::spawn(move || {
+                            operator_loop(
+                                po_idx,
+                                instance,
+                                op,
+                                stateful,
+                                state_field,
+                                preds,
+                                succs,
+                                obs,
+                                shared,
+                                rx,
+                            )
+                        }));
+                    }
+                }
+            }
+        }
+
+        Self {
+            shared,
+            handles,
+            coord_rx,
+            roots,
+            n_instances,
+        }
+    }
+
+    /// Number of instance threads.
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.n_instances
+    }
+
+    /// Locality of `edge` so far: local transfers / all transfers
+    /// (1.0 when idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is unknown.
+    #[must_use]
+    pub fn edge_locality(&self, edge: EdgeId) -> f64 {
+        let counters = &self.shared.edges[edge.index()];
+        let local = counters.local.load(Ordering::Relaxed);
+        let remote = counters.remote.load(Ordering::Relaxed);
+        if local + remote == 0 {
+            1.0
+        } else {
+            local as f64 / (local + remote) as f64
+        }
+    }
+
+    /// Snapshot of one instance's keyed state (blocks briefly).
+    #[must_use]
+    pub fn probe_state(&self, po: PoId, instance: usize) -> Option<HashMap<Key, StateValue>> {
+        let idx = self.shared.poi_base[po.index()] + instance;
+        let (tx, rx) = bounded(1);
+        if self.shared.inboxes[idx].send(Msg::StateProbe(tx)).is_err() {
+            return None;
+        }
+        rx.recv().ok()
+    }
+
+    /// Runs the online reconfiguration protocol (③–⑥ of Algorithm 1)
+    /// and blocks until every instance has applied its new routing
+    /// tables. Data keeps flowing throughout; tuples for keys whose
+    /// state is still in flight are buffered at their new owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline drains (sources exhaust and instances
+    /// shut down) while the wave is still propagating — reconfiguring
+    /// a stream that is ending is a caller bug.
+    pub fn reconfigure(&self, plan: LiveReconfig) {
+        let n = self.n_instances;
+        let mut routers: Vec<RouterUpdates> = vec![Vec::new(); n];
+        for (po, edge, router) in plan.routers {
+            let base = self.shared.poi_base[po.index()];
+            for i in 0..self.shared.parallelism[po.index()] {
+                routers[base + i].push((edge, Arc::clone(&router)));
+            }
+        }
+        let mut send: Vec<Vec<(Key, usize)>> = vec![Vec::new(); n];
+        let mut receive: Vec<Vec<Key>> = vec![Vec::new(); n];
+        for (po, key, old, new) in plan.migrations {
+            let base = self.shared.poi_base[po.index()];
+            send[base + old].push((key, base + new));
+            receive[base + new].push(key);
+        }
+        // ③ stage everywhere.
+        for idx in (0..n).rev() {
+            let _ = self.shared.inboxes[idx].send(Msg::Reconf {
+                routers: std::mem::take(&mut routers[idx]),
+                send: std::mem::take(&mut send[idx]),
+                receive: std::mem::take(&mut receive[idx]),
+            });
+        }
+        // ④ collect all acks before releasing the wave.
+        let (mut acks, mut applied) = (0, 0);
+        while acks < n {
+            match self.coord_rx.recv().expect("workers alive") {
+                CoordMsg::Ack => acks += 1,
+                CoordMsg::Applied => applied += 1,
+                CoordMsg::Exited => {
+                    panic!("pipeline drained during reconfiguration (stage phase)")
+                }
+            }
+        }
+        // ⑤ release the wave at the roots.
+        for &root in &self.roots {
+            let _ = self.shared.inboxes[root].send(Msg::Propagate);
+        }
+        while applied < n {
+            match self.coord_rx.recv().expect("workers alive") {
+                CoordMsg::Ack => {}
+                CoordMsg::Applied => applied += 1,
+                CoordMsg::Exited => {
+                    panic!("pipeline drained during reconfiguration (propagate phase)")
+                }
+            }
+        }
+    }
+
+    /// Asks saturating sources to stop; finite sources stop on their
+    /// own when exhausted.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the pipeline to drain (all `Eos` tokens delivered)
+    /// and returns every instance's final report, sorted by
+    /// `(operator, instance)`. Infinite sources must be stopped with
+    /// [`stop`](Self::stop) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn join(self) -> Vec<InstanceReport> {
+        let mut reports: Vec<InstanceReport> = self
+            .handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        reports.sort_by_key(|r| (r.po.index(), r.instance));
+        reports
+    }
+}
+
+fn source_loop(
+    po_idx: usize,
+    instance: usize,
+    mut gen: Box<dyn TupleSource>,
+    rate: SourceRate,
+    shared: Arc<WorkerShared>,
+    successors: Vec<usize>,
+    rx: Receiver<Msg>,
+) -> InstanceReport {
+    let my_idx = shared.poi_base[po_idx] + instance;
+    let mut ctx = WorkerCtx {
+        po_idx,
+        my_idx,
+        rr: instance,
+        overrides: HashMap::new(),
+    };
+    let mut emitted = 0u64;
+    let mut staged: Option<RouterUpdates> = None;
+    let batch_sleep = match rate {
+        SourceRate::Saturate => None,
+        SourceRate::PerSecond(r) => Some(std::time::Duration::from_secs_f64(
+            64.0 / r.max(1.0),
+        )),
+    };
+    loop {
+        // Participate in the control plane between batches.
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                Msg::Reconf { routers, .. } => {
+                    staged = Some(routers);
+                    let _ = shared.coord.send(CoordMsg::Ack);
+                }
+                Msg::Propagate => {
+                    if let Some(routers) = staged.take() {
+                        for (edge, router) in routers {
+                            ctx.overrides.insert(edge.index(), router);
+                        }
+                    }
+                    for &succ in &successors {
+                        let _ = shared.inboxes[succ].send(Msg::Propagate);
+                    }
+                    let _ = shared.coord.send(CoordMsg::Applied);
+                }
+                Msg::StateProbe(reply) => {
+                    let _ = reply.send(HashMap::new());
+                }
+                Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos => {}
+            }
+        }
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let mut exhausted = false;
+        for _ in 0..64 {
+            match gen.next_tuple() {
+                Some(tuple) => {
+                    ctx.route_out(&shared, tuple);
+                    emitted += 1;
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        if exhausted {
+            break;
+        }
+        if let Some(d) = batch_sleep {
+            std::thread::sleep(d);
+        }
+    }
+    // Serve any control messages already queued (common race: a wave
+    // started just as the stream ran dry), then announce the exit.
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            Msg::Reconf { routers, .. } => {
+                staged = Some(routers);
+                let _ = shared.coord.send(CoordMsg::Ack);
+            }
+            Msg::Propagate => {
+                if let Some(routers) = staged.take() {
+                    for (edge, router) in routers {
+                        ctx.overrides.insert(edge.index(), router);
+                    }
+                }
+                for &succ in &successors {
+                    let _ = shared.inboxes[succ].send(Msg::Propagate);
+                }
+                let _ = shared.coord.send(CoordMsg::Applied);
+            }
+            Msg::StateProbe(reply) => {
+                let _ = reply.send(HashMap::new());
+            }
+            Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos => {}
+        }
+    }
+    for &succ in &successors {
+        let _ = shared.inboxes[succ].send(Msg::Eos);
+    }
+    let _ = shared.coord.send(CoordMsg::Exited);
+    InstanceReport {
+        po: PoId(po_idx),
+        instance,
+        state: HashMap::new(),
+        processed: emitted,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn operator_loop(
+    po_idx: usize,
+    instance: usize,
+    mut op: Box<dyn Operator>,
+    stateful: bool,
+    state_field: Option<usize>,
+    pred_instances: usize,
+    successors: Vec<usize>,
+    observers: Vec<(EdgeId, usize, Box<dyn PairObserver>)>,
+    shared: Arc<WorkerShared>,
+    rx: Receiver<Msg>,
+) -> InstanceReport {
+    let my_idx = shared.poi_base[po_idx] + instance;
+    let mut ctx = WorkerCtx {
+        po_idx,
+        my_idx,
+        rr: instance,
+        overrides: HashMap::new(),
+    };
+    let mut observers: ObserverSlots = {
+        let mut map: ObserverSlots = HashMap::new();
+        for (e, f, o) in observers {
+            map.entry(e.index()).or_default().push((f, o));
+        }
+        map
+    };
+    let mut state: HashMap<Key, StateValue> = HashMap::new();
+    let mut processed = 0u64;
+    let mut emitted: Vec<Tuple> = Vec::new();
+
+    // Reconfiguration runtime.
+    let mut staged: Option<(RouterUpdates, Vec<(Key, usize)>)> = None;
+    let mut awaiting = 0usize;
+    let mut pending: HashMap<Key, Vec<Tuple>> = HashMap::new();
+    let mut departed: HashMap<Key, usize> = HashMap::new();
+    let mut eos_seen = 0usize;
+
+    /// The per-tuple data path; returns `false` if the tuple was
+    /// buffered or forwarded instead of processed.
+    #[allow(clippy::too_many_arguments)]
+    fn process_one(
+        tuple: Tuple,
+        op: &mut dyn Operator,
+        stateful: bool,
+        state_field: Option<usize>,
+        state: &mut HashMap<Key, StateValue>,
+        pending: &mut HashMap<Key, Vec<Tuple>>,
+        departed: &HashMap<Key, usize>,
+        observers: &mut ObserverSlots,
+        emitted: &mut Vec<Tuple>,
+        ctx: &mut WorkerCtx,
+        shared: &WorkerShared,
+    ) -> bool {
+        let state_key = state_field.map(|f| tuple.key(f));
+        if let Some(key) = state_key {
+            if let Some(buf) = pending.get_mut(&key) {
+                buf.push(tuple);
+                return false;
+            }
+            if let Some(&new_owner) = departed.get(&key) {
+                let _ = shared.inboxes[new_owner].send(Msg::Data(tuple));
+                return false;
+            }
+        }
+        emitted.clear();
+        {
+            let state_slot = if stateful {
+                let key = state_key.expect("stateful operators have a state field");
+                Some(state.entry(key).or_insert_with(|| op.init_state()))
+            } else {
+                None
+            };
+            let mut op_ctx = OpContext {
+                state: state_slot,
+                routing_key: state_key,
+                emitted,
+            };
+            op.process(tuple, &mut op_ctx);
+        }
+        if let Some(in_key) = state_key {
+            if !observers.is_empty() {
+                for out in &shared.outs[ctx.po_idx] {
+                    let Some(slots) = observers.get_mut(&out.edge) else {
+                        continue;
+                    };
+                    for (field, obs) in slots {
+                        for t in emitted.iter() {
+                            obs.observe(in_key, t.key(*field));
+                        }
+                    }
+                }
+            }
+        }
+        for t in std::mem::take(emitted) {
+            ctx.route_out(shared, t);
+        }
+        true
+    }
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Data(tuple) => {
+                if process_one(
+                    tuple,
+                    op.as_mut(),
+                    stateful,
+                    state_field,
+                    &mut state,
+                    &mut pending,
+                    &departed,
+                    &mut observers,
+                    &mut emitted,
+                    &mut ctx,
+                    &shared,
+                ) {
+                    processed += 1;
+                }
+            }
+            Msg::Reconf {
+                routers,
+                send,
+                receive,
+            } => {
+                departed.clear();
+                for key in receive {
+                    pending.entry(key).or_default();
+                }
+                awaiting = pred_instances.max(1);
+                staged = Some((routers, send));
+                let _ = shared.coord.send(CoordMsg::Ack);
+            }
+            Msg::Propagate => {
+                awaiting = awaiting.saturating_sub(1);
+                if awaiting == 0 {
+                    if let Some((routers, send)) = staged.take() {
+                        for (edge, router) in routers {
+                            ctx.overrides.insert(edge.index(), router);
+                        }
+                        for (key, dest) in send {
+                            let moved = state.remove(&key);
+                            departed.insert(key, dest);
+                            let _ = shared.inboxes[dest].send(Msg::Migrate { key, state: moved });
+                        }
+                        for &succ in &successors {
+                            let _ = shared.inboxes[succ].send(Msg::Propagate);
+                        }
+                        let _ = shared.coord.send(CoordMsg::Applied);
+                    }
+                }
+            }
+            Msg::Migrate { key, state: moved } => {
+                if let Some(moved) = moved {
+                    state.insert(key, moved);
+                }
+                if let Some(buffered) = pending.remove(&key) {
+                    for tuple in buffered {
+                        if process_one(
+                            tuple,
+                            op.as_mut(),
+                            stateful,
+                            state_field,
+                            &mut state,
+                            &mut pending,
+                            &departed,
+                            &mut observers,
+                            &mut emitted,
+                            &mut ctx,
+                            &shared,
+                        ) {
+                            processed += 1;
+                        }
+                    }
+                }
+            }
+            Msg::Eos => {
+                eos_seen += 1;
+                if eos_seen >= pred_instances && pending.values().all(Vec::is_empty) {
+                    break;
+                }
+            }
+            Msg::StateProbe(reply) => {
+                let _ = reply.send(state.clone());
+            }
+        }
+    }
+    for &succ in &successors {
+        let _ = shared.inboxes[succ].send(Msg::Eos);
+    }
+    let _ = shared.coord.send(CoordMsg::Exited);
+    InstanceReport {
+        po: PoId(po_idx),
+        instance,
+        state,
+        processed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::CountOperator;
+    use crate::router::ModuloRouter;
+    use crate::topology::Topology;
+
+    /// n sources emitting `total/n` tuples each of (c % keys, c % keys).
+    fn chain(n: usize, keys: u64, total: u64) -> Topology {
+        let mut b = Topology::builder();
+        let s = b.source("S", n, SourceRate::Saturate, move |i| {
+            let mut c = i as u64;
+            let mut left = total / n as u64;
+            Box::new(move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                c = c.wrapping_add(0x9e37_79b9);
+                let k = c % keys;
+                Some(Tuple::new([Key::new(k), Key::new(k)], 0))
+            })
+        });
+        let a = b.stateful("A", n, CountOperator::factory());
+        let bb = b.stateful("B", n, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        b.connect(a, bb, Grouping::fields(1));
+        b.build().unwrap()
+    }
+
+    fn counts_of(reports: &[InstanceReport], po: PoId) -> HashMap<Key, u64> {
+        let mut out = HashMap::new();
+        for r in reports.iter().filter(|r| r.po == po) {
+            for (&k, v) in &r.state {
+                *out.entry(k).or_insert(0) += v.as_count().unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn finite_pipeline_drains_and_counts_everything() {
+        let total = 30_000u64;
+        let topo = chain(3, 12, total);
+        let placement = Placement::aligned(&topo, 3);
+        let rt = LiveRuntime::start(topo, placement, 3, LiveConfig::default());
+        let reports = rt.join();
+        let a_counts = counts_of(&reports, PoId(1));
+        let b_counts = counts_of(&reports, PoId(2));
+        assert_eq!(a_counts.values().sum::<u64>(), total);
+        assert_eq!(b_counts.values().sum::<u64>(), total);
+        // Keys identical across the two hops (same key used twice).
+        assert_eq!(a_counts, b_counts);
+    }
+
+    #[test]
+    fn stop_halts_infinite_sources() {
+        let mut b = Topology::builder();
+        let s = b.source("S", 2, SourceRate::Saturate, |i| {
+            let mut c = i as u64;
+            Box::new(move || {
+                c += 1;
+                Some(Tuple::new([Key::new(c % 5)], 0))
+            })
+        });
+        let a = b.stateful("A", 2, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        let topo = b.build().unwrap();
+        let placement = Placement::aligned(&topo, 2);
+        let rt = LiveRuntime::start(topo, placement, 2, LiveConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        rt.stop();
+        let reports = rt.join();
+        let emitted: u64 = reports
+            .iter()
+            .filter(|r| r.po == PoId(0))
+            .map(|r| r.processed)
+            .sum();
+        let counted: u64 = counts_of(&reports, PoId(1)).values().sum();
+        assert!(emitted > 0);
+        assert_eq!(emitted, counted, "every emitted tuple counted");
+    }
+
+    #[test]
+    fn unique_key_ownership() {
+        let topo = chain(4, 32, 20_000);
+        let placement = Placement::aligned(&topo, 4);
+        let rt = LiveRuntime::start(topo, placement, 4, LiveConfig::default());
+        let reports = rt.join();
+        let mut seen = std::collections::HashSet::new();
+        for r in reports.iter().filter(|r| r.po == PoId(2)) {
+            for &k in r.state.keys() {
+                assert!(seen.insert(k), "key {k} owned twice");
+            }
+        }
+    }
+
+    #[test]
+    fn live_reconfiguration_conserves_counts() {
+        let n = 3;
+        let keys = 9u64;
+        let total = 60_000u64;
+        // Rate-limit sources so the stream comfortably outlives the
+        // reconfiguration wave.
+        let mut b = Topology::builder();
+        let s = b.source("S", n, SourceRate::PerSecond(50_000.0), move |i| {
+            let mut c = i as u64;
+            let mut left = total / n as u64;
+            Box::new(move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                c = c.wrapping_add(0x9e37_79b9);
+                let k = c % keys;
+                Some(Tuple::new([Key::new(k), Key::new(k)], 0))
+            })
+        });
+        let a = b.stateful("A", n, CountOperator::factory());
+        let bb = b.stateful("B", n, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        b.connect(a, bb, Grouping::fields(1));
+        let topo = b.build().unwrap();
+        let placement = Placement::aligned(&topo, n);
+        let rt = LiveRuntime::start(topo, placement, n, LiveConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        // Swap hop A→B to modulo routing with the matching migrations:
+        // new owner of key k is instance k % n; old owner is by hash.
+        let hash = HashRouter;
+        let migrations: Vec<(PoId, Key, usize, usize)> = (0..keys)
+            .map(|k| {
+                let key = Key::new(k);
+                let old = hash.route(key, n) as usize;
+                let new = (k % n as u64) as usize;
+                (PoId(2), key, old, new)
+            })
+            .filter(|&(_, _, old, new)| old != new)
+            .collect();
+        assert!(!migrations.is_empty());
+        rt.reconfigure(LiveReconfig {
+            routers: vec![(PoId(1), EdgeId(1), Arc::new(ModuloRouter))],
+            migrations,
+        });
+
+        let reports = rt.join();
+        let b_counts = counts_of(&reports, PoId(2));
+        assert_eq!(
+            b_counts.values().sum::<u64>(),
+            total,
+            "no tuple lost or double counted across live migration"
+        );
+        // Ownership matches the new table.
+        for r in reports.iter().filter(|r| r.po == PoId(2)) {
+            for &k in r.state.keys() {
+                assert_eq!(
+                    r.instance,
+                    (k.value() % n as u64) as usize,
+                    "key {k} at wrong owner after live migration"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locality_counters_track_placement() {
+        // Everything on one server tag: all transfers are local.
+        let topo = chain(3, 6, 5_000);
+        let placement = Placement::aligned(&topo, 1);
+        let rt = LiveRuntime::start(topo, placement, 1, LiveConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let one_server_locality = rt.edge_locality(EdgeId(1));
+        let _ = rt.join();
+        assert_eq!(one_server_locality, 1.0);
+
+        // Aligned modulo routing on 3 servers: (k, k) tuples stay put
+        // on the A→B hop.
+        let mut b = Topology::builder();
+        let s = b.source("S", 3, SourceRate::Saturate, |i| {
+            let mut left = 5_000u32;
+            let key = Key::new(i as u64);
+            Box::new(move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                Some(Tuple::new([key, key], 0))
+            })
+        });
+        let a = b.stateful("A", 3, CountOperator::factory());
+        let bb = b.stateful("B", 3, CountOperator::factory());
+        b.connect(s, a, Grouping::fields_with(0, Arc::new(ModuloRouter)));
+        let hop = b.connect(a, bb, Grouping::fields_with(1, Arc::new(ModuloRouter)));
+        let topo = b.build().unwrap();
+        let placement = Placement::aligned(&topo, 3);
+        let rt = LiveRuntime::start(topo, placement, 3, LiveConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let hop_locality = rt.edge_locality(hop);
+        let _ = rt.join();
+        assert_eq!(hop_locality, 1.0, "aligned modulo must stay local");
+    }
+
+    #[test]
+    fn probe_state_sees_live_counts() {
+        let mut b = Topology::builder();
+        let s = b.source("S", 1, SourceRate::Saturate, |_| {
+            Box::new(|| Some(Tuple::new([Key::new(1)], 0)))
+        });
+        let a = b.stateful("A", 1, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        let topo = b.build().unwrap();
+        let placement = Placement::aligned(&topo, 1);
+        let rt = LiveRuntime::start(topo, placement, 1, LiveConfig::default());
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let snapshot = rt.probe_state(PoId(1), 0).expect("instance alive");
+        assert!(snapshot.get(&Key::new(1)).and_then(StateValue::as_count) > Some(0));
+        rt.stop();
+        let _ = rt.join();
+    }
+}

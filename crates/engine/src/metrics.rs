@@ -1,0 +1,296 @@
+//! Run metrics: throughput, locality, load balance, network usage.
+
+use crate::topology::{EdgeId, PoiId};
+
+/// Per-edge transfer counters for one window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EdgeWindowStats {
+    /// Tuples handed to an instance on the same server (in-memory).
+    pub local: u64,
+    /// Tuples sent to an instance on another server.
+    pub remote: u64,
+    /// Among `remote`, tuples that also crossed a rack boundary.
+    pub cross_rack: u64,
+    /// Bytes put on the wire (remote tuples only, incl. overhead).
+    pub bytes: u64,
+}
+
+impl EdgeWindowStats {
+    /// Fraction of transfers that stayed local (1.0 when idle).
+    #[must_use]
+    pub fn locality(&self) -> f64 {
+        let total = self.local + self.remote;
+        if total == 0 {
+            1.0
+        } else {
+            self.local as f64 / total as f64
+        }
+    }
+}
+
+/// Everything measured during one simulation window.
+#[derive(Debug, Clone, Default)]
+pub struct WindowMetrics {
+    /// Simulated time at the *end* of the window, seconds.
+    pub time: f64,
+    /// Tuples emitted by sources this window.
+    pub emitted: u64,
+    /// Tuples fully processed by sink operators this window.
+    pub sink_tuples: u64,
+    /// Per-edge transfer counters, indexed by edge id.
+    pub edges: Vec<EdgeWindowStats>,
+    /// Tuples processed per instance, indexed by global POI id.
+    pub poi_processed: Vec<u64>,
+    /// Key states migrated this window (reconfiguration traffic).
+    pub migrated_states: u64,
+    /// Bytes of state migrated this window.
+    pub migrated_bytes: u64,
+    /// Tuples that reached an instance after its key's state had
+    /// already departed and were forwarded to the new owner.
+    pub late_forwarded: u64,
+    /// Tuples buffered while awaiting a migrated key state.
+    pub buffered: u64,
+    /// Sum over sink tuples of the windows spent between source
+    /// emission and sink processing.
+    pub latency_window_sum: u64,
+    /// Number of sink tuples contributing to the latency sum.
+    pub latency_count: u64,
+    /// Largest per-tuple latency observed this window, in windows.
+    pub latency_window_max: u64,
+    /// Deepest instance input queue at the end of the window.
+    pub max_queue_depth: usize,
+    /// Messages waiting in network backlogs at the end of the window.
+    pub backlog_messages: usize,
+}
+
+/// The full log of a simulation run.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_engine::MetricsLog;
+///
+/// let log = MetricsLog::new(0.1);
+/// assert_eq!(log.window_len(), 0.1);
+/// assert!(log.windows().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsLog {
+    window_len: f64,
+    windows: Vec<WindowMetrics>,
+}
+
+impl MetricsLog {
+    /// Creates an empty log for windows of `window_len` seconds.
+    #[must_use]
+    pub fn new(window_len: f64) -> Self {
+        Self {
+            window_len,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window length in seconds.
+    #[must_use]
+    pub fn window_len(&self) -> f64 {
+        self.window_len
+    }
+
+    /// All recorded windows, oldest first.
+    #[must_use]
+    pub fn windows(&self) -> &[WindowMetrics] {
+        &self.windows
+    }
+
+    pub(crate) fn push(&mut self, window: WindowMetrics) {
+        self.windows.push(window);
+    }
+
+    /// Sink throughput per window, tuples/second.
+    #[must_use]
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.windows
+            .iter()
+            .map(|w| w.sink_tuples as f64 / self.window_len)
+            .collect()
+    }
+
+    /// Mean sink throughput (tuples/second) over windows
+    /// `skip..windows.len()` — skip the warm-up.
+    #[must_use]
+    pub fn avg_throughput(&self, skip: usize) -> f64 {
+        let tail = &self.windows[skip.min(self.windows.len())..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = tail.iter().map(|w| w.sink_tuples).sum();
+        total as f64 / (tail.len() as f64 * self.window_len)
+    }
+
+    /// Locality of `edge` over windows `skip..`: local transfers over
+    /// all transfers (1.0 when the edge was idle).
+    #[must_use]
+    pub fn edge_locality(&self, edge: EdgeId, skip: usize) -> f64 {
+        let tail = &self.windows[skip.min(self.windows.len())..];
+        let (mut local, mut remote) = (0u64, 0u64);
+        for w in tail {
+            if let Some(stats) = w.edges.get(edge.index()) {
+                local += stats.local;
+                remote += stats.remote;
+            }
+        }
+        if local + remote == 0 {
+            1.0
+        } else {
+            local as f64 / (local + remote) as f64
+        }
+    }
+
+    /// Load-balance factor over the given instances for windows
+    /// `skip..`: max processed over average processed (1.0 = even).
+    #[must_use]
+    pub fn load_imbalance(&self, pois: &[PoiId], skip: usize) -> f64 {
+        let tail = &self.windows[skip.min(self.windows.len())..];
+        if pois.is_empty() {
+            return 1.0;
+        }
+        let mut loads = vec![0u64; pois.len()];
+        for w in tail {
+            for (slot, poi) in loads.iter_mut().zip(pois) {
+                *slot += w.poi_processed.get(poi.index()).copied().unwrap_or(0);
+            }
+        }
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / loads.len() as f64;
+        *loads.iter().max().expect("non-empty") as f64 / avg
+    }
+
+    /// Total bytes sent over the network in the whole run.
+    #[must_use]
+    pub fn total_network_bytes(&self) -> u64 {
+        self.windows
+            .iter()
+            .map(|w| {
+                w.edges.iter().map(|e| e.bytes).sum::<u64>() + w.migrated_bytes
+            })
+            .sum()
+    }
+
+    /// Total tuples emitted by sources in the whole run.
+    #[must_use]
+    pub fn total_emitted(&self) -> u64 {
+        self.windows.iter().map(|w| w.emitted).sum()
+    }
+
+    /// Total tuples processed by sinks in the whole run.
+    #[must_use]
+    pub fn total_sink(&self) -> u64 {
+        self.windows.iter().map(|w| w.sink_tuples).sum()
+    }
+
+    /// Rack locality of `edge` over windows `skip..`: fraction of
+    /// transfers that stayed within one rack (local transfers count as
+    /// in-rack). 1.0 when the edge was idle.
+    #[must_use]
+    pub fn edge_rack_locality(&self, edge: EdgeId, skip: usize) -> f64 {
+        let tail = &self.windows[skip.min(self.windows.len())..];
+        let (mut total, mut crossed) = (0u64, 0u64);
+        for w in tail {
+            if let Some(stats) = w.edges.get(edge.index()) {
+                total += stats.local + stats.remote;
+                crossed += stats.cross_rack;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            1.0 - crossed as f64 / total as f64
+        }
+    }
+
+    /// Mean end-to-end latency (source emission → sink processing)
+    /// over windows `skip..`, in seconds. Returns 0.0 when no sink
+    /// tuple was recorded. Resolution is one window.
+    #[must_use]
+    pub fn avg_latency(&self, skip: usize) -> f64 {
+        let tail = &self.windows[skip.min(self.windows.len())..];
+        let (sum, count) = tail.iter().fold((0u64, 0u64), |(s, c), w| {
+            (s + w.latency_window_sum, c + w.latency_count)
+        });
+        if count == 0 {
+            return 0.0;
+        }
+        sum as f64 / count as f64 * self.window_len
+    }
+
+    /// Largest end-to-end latency over windows `skip..`, seconds.
+    #[must_use]
+    pub fn max_latency(&self, skip: usize) -> f64 {
+        let tail = &self.windows[skip.min(self.windows.len())..];
+        tail.iter()
+            .map(|w| w.latency_window_max)
+            .max()
+            .unwrap_or(0) as f64
+            * self.window_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(sink: u64, edges: Vec<EdgeWindowStats>, poi: Vec<u64>) -> WindowMetrics {
+        WindowMetrics {
+            sink_tuples: sink,
+            edges,
+            poi_processed: poi,
+            ..WindowMetrics::default()
+        }
+    }
+
+    #[test]
+    fn throughput_and_average() {
+        let mut log = MetricsLog::new(0.5);
+        log.push(window(50, vec![], vec![]));
+        log.push(window(100, vec![], vec![]));
+        log.push(window(200, vec![], vec![]));
+        assert_eq!(log.throughput_series(), vec![100.0, 200.0, 400.0]);
+        assert!((log.avg_throughput(1) - 300.0).abs() < 1e-9);
+        assert_eq!(log.avg_throughput(10), 0.0);
+    }
+
+    #[test]
+    fn edge_locality_aggregates() {
+        let mut log = MetricsLog::new(1.0);
+        let e = EdgeWindowStats {
+            local: 3,
+            remote: 1,
+            cross_rack: 0,
+            bytes: 100,
+        };
+        log.push(window(0, vec![e], vec![]));
+        log.push(window(0, vec![e], vec![]));
+        assert!((log.edge_locality(EdgeId(0), 0) - 0.75).abs() < 1e-12);
+        assert_eq!(log.edge_locality(EdgeId(1), 0), 1.0, "idle edge is local");
+    }
+
+    #[test]
+    fn imbalance_over_pois() {
+        let mut log = MetricsLog::new(1.0);
+        log.push(window(0, vec![], vec![30, 10, 20]));
+        let pois = [PoiId(0), PoiId(1), PoiId(2)];
+        assert!((log.load_imbalance(&pois, 0) - 1.5).abs() < 1e-12);
+        assert_eq!(log.load_imbalance(&[], 0), 1.0);
+    }
+
+    #[test]
+    fn idle_stats_default_to_balanced() {
+        let log = MetricsLog::new(1.0);
+        assert_eq!(log.avg_throughput(0), 0.0);
+        assert_eq!(log.total_network_bytes(), 0);
+        assert_eq!(EdgeWindowStats::default().locality(), 1.0);
+    }
+}

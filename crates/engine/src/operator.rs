@@ -1,0 +1,239 @@
+//! Operators: the user code executed by processing operator instances.
+
+use crate::key::Key;
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// Per-key state held by a stateful operator instance.
+///
+/// State values are what the reconfiguration protocol migrates between
+/// instances when a key is reassigned. Two representations cover the
+/// applications in the paper and arbitrary user state:
+///
+/// * [`Count`](StateValue::Count) — a counter, as used by the
+///   evaluation topology ("counts the number of occurrences of its
+///   different values", §4.1);
+/// * [`Bytes`](StateValue::Bytes) — opaque serialized state of any
+///   size, so migration cost models arbitrary applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateValue {
+    /// A 64-bit counter.
+    Count(u64),
+    /// Opaque serialized state.
+    Bytes(Vec<u8>),
+}
+
+impl StateValue {
+    /// Size of this state on the wire when migrated.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            StateValue::Count(_) => 8,
+            StateValue::Bytes(b) => b.len() as u64,
+        }
+    }
+
+    /// The counter value; `None` for byte state.
+    #[must_use]
+    pub fn as_count(&self) -> Option<u64> {
+        match self {
+            StateValue::Count(n) => Some(*n),
+            StateValue::Bytes(_) => None,
+        }
+    }
+
+    /// Mutable counter access; `None` for byte state.
+    pub fn as_count_mut(&mut self) -> Option<&mut u64> {
+        match self {
+            StateValue::Count(n) => Some(n),
+            StateValue::Bytes(_) => None,
+        }
+    }
+}
+
+/// Execution context handed to [`Operator::process`].
+///
+/// Provides access to the state of the tuple's routing key (for
+/// stateful operators) and collects emitted output tuples.
+#[derive(Debug)]
+pub struct OpContext<'a> {
+    pub(crate) state: Option<&'a mut StateValue>,
+    pub(crate) routing_key: Option<Key>,
+    pub(crate) emitted: &'a mut Vec<Tuple>,
+}
+
+impl<'a> OpContext<'a> {
+    /// The state of the key this tuple was routed on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a stateless operator (no fields-grouped
+    /// input edge).
+    pub fn state(&mut self) -> &mut StateValue {
+        self.state
+            .as_deref_mut()
+            .expect("state() called on a stateless operator")
+    }
+
+    /// The key the tuple was routed on, if the input edge uses fields
+    /// grouping.
+    #[must_use]
+    pub fn routing_key(&self) -> Option<Key> {
+        self.routing_key
+    }
+
+    /// Emits `tuple` on the operator's output stream.
+    pub fn emit(&mut self, tuple: Tuple) {
+        self.emitted.push(tuple);
+    }
+}
+
+/// User code run by every instance of a processing operator.
+///
+/// Implementations must be deterministic given the tuple and state —
+/// the simulator relies on this for reproducible experiments.
+pub trait Operator: Send {
+    /// Processes one input tuple, optionally updating the key state
+    /// and emitting output tuples via `ctx`.
+    fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>);
+
+    /// Initial state for a key never seen by this operator.
+    fn init_state(&self) -> StateValue {
+        StateValue::Count(0)
+    }
+}
+
+/// Factory producing one [`Operator`] per deployed instance.
+pub type OperatorFactory = Box<dyn Fn(usize) -> Box<dyn Operator> + Send + Sync>;
+
+/// The paper's evaluation operator: counts occurrences of the routing
+/// key and forwards the tuple downstream unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountOperator;
+
+impl CountOperator {
+    /// Creates the counting operator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// A factory deploying one [`CountOperator`] per instance.
+    #[must_use]
+    pub fn factory() -> OperatorFactory {
+        Box::new(|_| Box::new(CountOperator))
+    }
+}
+
+impl Operator for CountOperator {
+    fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>) {
+        if let Some(n) = ctx.state().as_count_mut() {
+            *n += 1;
+        }
+        ctx.emit(tuple);
+    }
+}
+
+/// A stateless pass-through operator (e.g. a parser or normalizer
+/// whose cost matters but whose output equals its input).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityOperator;
+
+impl IdentityOperator {
+    /// Creates the identity operator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// A factory deploying one [`IdentityOperator`] per instance.
+    #[must_use]
+    pub fn factory() -> OperatorFactory {
+        Box::new(|_| Box::new(IdentityOperator))
+    }
+}
+
+impl Operator for IdentityOperator {
+    fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>) {
+        ctx.emit(tuple);
+    }
+}
+
+/// An operator defined by a closure, for tests and small examples.
+pub struct FnOperator<F>(pub F);
+
+impl<F> fmt::Debug for FnOperator<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FnOperator")
+    }
+}
+
+impl<F> Operator for FnOperator<F>
+where
+    F: FnMut(Tuple, &mut OpContext<'_>) + Send,
+{
+    fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>) {
+        (self.0)(tuple, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_once(op: &mut dyn Operator, tuple: Tuple, state: Option<&mut StateValue>) -> Vec<Tuple> {
+        let mut emitted = Vec::new();
+        let mut ctx = OpContext {
+            routing_key: state.is_some().then(|| tuple.key(0)),
+            state,
+            emitted: &mut emitted,
+        };
+        op.process(tuple, &mut ctx);
+        emitted
+    }
+
+    #[test]
+    fn count_operator_counts_and_forwards() {
+        let mut op = CountOperator::new();
+        let mut state = op.init_state();
+        let t = Tuple::new([Key::new(7)], 0);
+        let out = run_once(&mut op, t, Some(&mut state));
+        assert_eq!(out, vec![t]);
+        assert_eq!(state.as_count(), Some(1));
+        run_once(&mut op, t, Some(&mut state));
+        assert_eq!(state.as_count(), Some(2));
+    }
+
+    #[test]
+    fn identity_forwards_without_state() {
+        let mut op = IdentityOperator::new();
+        let t = Tuple::new([Key::new(1), Key::new(2)], 64);
+        let out = run_once(&mut op, t, None);
+        assert_eq!(out, vec![t]);
+    }
+
+    #[test]
+    fn fn_operator_transforms() {
+        let mut op = FnOperator(|t: Tuple, ctx: &mut OpContext<'_>| {
+            ctx.emit(t.with_key(0, Key::new(99)));
+        });
+        let out = run_once(&mut op, Tuple::new([Key::new(1)], 0), None);
+        assert_eq!(out[0].key(0), Key::new(99));
+    }
+
+    #[test]
+    fn state_value_sizes() {
+        assert_eq!(StateValue::Count(5).size_bytes(), 8);
+        assert_eq!(StateValue::Bytes(vec![0; 100]).size_bytes(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "stateless operator")]
+    fn stateless_state_access_panics() {
+        let mut op = FnOperator(|t: Tuple, ctx: &mut OpContext<'_>| {
+            ctx.state();
+            ctx.emit(t);
+        });
+        run_once(&mut op, Tuple::new([Key::new(1)], 0), None);
+    }
+}

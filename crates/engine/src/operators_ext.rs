@@ -1,0 +1,254 @@
+//! Additional stateful operators beyond the paper's counting
+//! evaluation operator: tumbling-window counts and approximate
+//! distinct counts. Both keep serialized (`Bytes`) state, so
+//! migrating them exercises realistic state sizes.
+
+use crate::key::{splitmix64, Key};
+use crate::operator::{OpContext, Operator, OperatorFactory, StateValue};
+use crate::tuple::Tuple;
+
+/// Counts tuples per key within tumbling windows of `window_tuples`
+/// global input tuples, forwarding each input downstream.
+///
+/// State layout (16 bytes): `window_id: u64 | count: u64`. When an
+/// instance sees a tuple belonging to a newer window, the key's
+/// counter restarts — the behaviour of per-window trending statistics
+/// such as "hashtags this hour".
+///
+/// # Example
+///
+/// ```
+/// use streamloc_engine::WindowedCountOperator;
+///
+/// let op = WindowedCountOperator::new(1000);
+/// assert_eq!(op.window_tuples(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowedCountOperator {
+    window_tuples: u64,
+    seen: u64,
+}
+
+impl WindowedCountOperator {
+    /// Creates the operator with the given tumbling-window length,
+    /// measured in tuples processed by this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_tuples` is zero.
+    #[must_use]
+    pub fn new(window_tuples: u64) -> Self {
+        assert!(window_tuples > 0, "window must be positive");
+        Self {
+            window_tuples,
+            seen: 0,
+        }
+    }
+
+    /// The configured window length in tuples.
+    #[must_use]
+    pub fn window_tuples(&self) -> u64 {
+        self.window_tuples
+    }
+
+    /// A factory deploying one instance per POI.
+    #[must_use]
+    pub fn factory(window_tuples: u64) -> OperatorFactory {
+        Box::new(move |_| Box::new(WindowedCountOperator::new(window_tuples)))
+    }
+
+    /// Decodes `(window_id, count)` from a state value.
+    #[must_use]
+    pub fn decode(state: &StateValue) -> Option<(u64, u64)> {
+        match state {
+            StateValue::Bytes(b) if b.len() == 16 => {
+                let window = u64::from_le_bytes(b[..8].try_into().ok()?);
+                let count = u64::from_le_bytes(b[8..].try_into().ok()?);
+                Some((window, count))
+            }
+            _ => None,
+        }
+    }
+
+    fn encode(window: u64, count: u64) -> StateValue {
+        let mut bytes = Vec::with_capacity(16);
+        bytes.extend_from_slice(&window.to_le_bytes());
+        bytes.extend_from_slice(&count.to_le_bytes());
+        StateValue::Bytes(bytes)
+    }
+}
+
+impl Operator for WindowedCountOperator {
+    fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>) {
+        self.seen += 1;
+        let window = self.seen / self.window_tuples;
+        let state = ctx.state();
+        let count = match Self::decode(state) {
+            Some((w, c)) if w == window => c + 1,
+            _ => 1,
+        };
+        *state = Self::encode(window, count);
+        ctx.emit(tuple);
+    }
+
+    fn init_state(&self) -> StateValue {
+        Self::encode(0, 0)
+    }
+}
+
+/// Number of HyperLogLog registers kept per key (64 → ~13% relative
+/// error, 64 bytes of state per key).
+const HLL_REGISTERS: usize = 64;
+
+/// Approximate per-key distinct count of a companion field, using a
+/// small per-key HyperLogLog sketch — e.g. "distinct hashtags per
+/// location". Forwards each input downstream.
+///
+/// State layout: `HLL_REGISTERS` one-byte registers.
+#[derive(Debug, Clone)]
+pub struct ApproxDistinctOperator {
+    companion_field: usize,
+}
+
+impl ApproxDistinctOperator {
+    /// Creates the operator counting distinct values of tuple field
+    /// `companion_field`.
+    #[must_use]
+    pub fn new(companion_field: usize) -> Self {
+        Self { companion_field }
+    }
+
+    /// A factory deploying one instance per POI.
+    #[must_use]
+    pub fn factory(companion_field: usize) -> OperatorFactory {
+        Box::new(move |_| Box::new(ApproxDistinctOperator::new(companion_field)))
+    }
+
+    /// Estimated distinct count from a state value (the standard HLL
+    /// estimator with small-range correction).
+    #[must_use]
+    pub fn estimate(state: &StateValue) -> Option<f64> {
+        let StateValue::Bytes(registers) = state else {
+            return None;
+        };
+        if registers.len() != HLL_REGISTERS {
+            return None;
+        }
+        let m = HLL_REGISTERS as f64;
+        let sum: f64 = registers.iter().map(|&r| 2f64.powi(-i32::from(r))).sum();
+        let alpha = 0.709; // alpha_64
+        let raw = alpha * m * m / sum;
+        let zeros = registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            Some(m * (m / zeros as f64).ln())
+        } else {
+            Some(raw)
+        }
+    }
+
+    fn add(registers: &mut [u8], value: Key) {
+        let h = splitmix64(value.value() ^ 0xd15c);
+        let idx = (h % HLL_REGISTERS as u64) as usize;
+        let rank = ((h >> 6) | (1 << 57)).trailing_zeros() as u8 + 1;
+        if registers[idx] < rank {
+            registers[idx] = rank;
+        }
+    }
+}
+
+impl Operator for ApproxDistinctOperator {
+    fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>) {
+        let companion = tuple.key(self.companion_field);
+        if let StateValue::Bytes(registers) = ctx.state() {
+            Self::add(registers, companion);
+        }
+        ctx.emit(tuple);
+    }
+
+    fn init_state(&self) -> StateValue {
+        StateValue::Bytes(vec![0u8; HLL_REGISTERS])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(op: &mut dyn Operator, tuple: Tuple, state: &mut StateValue) -> Vec<Tuple> {
+        let mut emitted = Vec::new();
+        let mut ctx = OpContext {
+            state: Some(state),
+            routing_key: Some(tuple.key(0)),
+            emitted: &mut emitted,
+        };
+        op.process(tuple, &mut ctx);
+        emitted
+    }
+
+    #[test]
+    fn windowed_count_restarts_each_window() {
+        let mut op = WindowedCountOperator::new(4);
+        let mut state = op.init_state();
+        let t = Tuple::new([Key::new(1)], 0);
+        for _ in 0..3 {
+            run(&mut op, t, &mut state);
+        }
+        assert_eq!(WindowedCountOperator::decode(&state), Some((0, 3)));
+        // Tuple 4 crosses into window 1: counter restarts.
+        run(&mut op, t, &mut state);
+        assert_eq!(WindowedCountOperator::decode(&state), Some((1, 1)));
+    }
+
+    #[test]
+    fn windowed_count_forwards_input() {
+        let mut op = WindowedCountOperator::new(10);
+        let mut state = op.init_state();
+        let t = Tuple::new([Key::new(7)], 123);
+        let out = run(&mut op, t, &mut state);
+        assert_eq!(out, vec![t]);
+    }
+
+    #[test]
+    fn windowed_state_is_sixteen_bytes() {
+        let op = WindowedCountOperator::new(5);
+        assert_eq!(op.init_state().size_bytes(), 16);
+    }
+
+    #[test]
+    fn approx_distinct_estimates_cardinality() {
+        let mut op = ApproxDistinctOperator::new(1);
+        let mut state = op.init_state();
+        let n = 1000u64;
+        for v in 0..n {
+            let t = Tuple::new([Key::new(1), Key::new(v)], 0);
+            run(&mut op, t, &mut state);
+        }
+        let est = ApproxDistinctOperator::estimate(&state).unwrap();
+        let err = (est - n as f64).abs() / n as f64;
+        assert!(err < 0.35, "estimate {est} too far from {n}");
+    }
+
+    #[test]
+    fn approx_distinct_ignores_duplicates() {
+        let mut op = ApproxDistinctOperator::new(1);
+        let mut state = op.init_state();
+        for _ in 0..500 {
+            let t = Tuple::new([Key::new(1), Key::new(42)], 0);
+            run(&mut op, t, &mut state);
+        }
+        let est = ApproxDistinctOperator::estimate(&state).unwrap();
+        assert!((0.9..4.0).contains(&est), "single value estimated as {est}");
+    }
+
+    #[test]
+    fn approx_distinct_state_is_fixed_size() {
+        let op = ApproxDistinctOperator::new(1);
+        assert_eq!(op.init_state().size_bytes(), HLL_REGISTERS as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = WindowedCountOperator::new(0);
+    }
+}

@@ -1,0 +1,679 @@
+//! The online reconfiguration mechanism (paper §3.4, Algorithm 1).
+//!
+//! This module implements the *mechanism* side of the protocol — the
+//! wave of control messages, routing-table swaps, state migration and
+//! tuple buffering executed by the operator instances. The *policy*
+//! side (collecting statistics, partitioning the key graph and
+//! computing the [`ReconfigPlan`]) lives in `streamloc-core`'s
+//! `Manager`, mirroring the paper's separation between POIs and the
+//! manager process.
+//!
+//! Message flow, following Algorithm 1 (steps ① GET_METRICS and
+//! ② SEND_METRICS are performed by the manager reading the installed
+//! [`PairObserver`](crate::PairObserver)s):
+//!
+//! * ③ `SEND_RECONF` — every POI receives its routing-table update,
+//!   send list and receive list; it immediately starts buffering
+//!   tuples for receive-list keys.
+//! * ④ `ACK_RECONF` — modeled by the executor counting staged POIs.
+//! * ⑤ `PROPAGATE` — once all POIs acked, the manager propagates to
+//!   the source POIs; each POI that has received a propagate from
+//!   *every* instance of *every* predecessor operator applies its new
+//!   routing table, ships reassigned key state (⑥ `MIGRATE`) to the
+//!   new owners, and forwards the propagate wave downstream.
+//!
+//! Data streams are never suspended. A tuple reaching the new owner of
+//! a key before that key's state arrives is buffered (Algorithm 1's
+//! buffering rule); a tuple reaching the *old* owner after its state
+//! departed — possible because in-flight tuples are not flushed — is
+//! forwarded to the new owner, preserving exactly-once state updates.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::key::Key;
+use crate::metrics::WindowMetrics;
+use crate::operator::StateValue;
+use crate::router::KeyRouter;
+use crate::sim::{NetMsg, NetPayload, Simulation};
+use crate::topology::{EdgeId, PoId, PoiId};
+
+/// A complete reconfiguration computed by the manager: new routers for
+/// the fields-grouped edges and the key-state migrations they imply.
+#[derive(Clone)]
+pub struct ReconfigPlan {
+    /// `(sender instance, out edge, new router)` updates.
+    pub routers: Vec<(PoiId, EdgeId, Arc<dyn KeyRouter>)>,
+    /// `(old owner, key, new owner)` state transfers. Old and new
+    /// owner must be instances of the same operator.
+    pub migrations: Vec<(PoiId, Key, PoiId)>,
+}
+
+impl fmt::Debug for ReconfigPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReconfigPlan")
+            .field("router_updates", &self.routers.len())
+            .field("migrations", &self.migrations.len())
+            .finish()
+    }
+}
+
+impl ReconfigPlan {
+    /// An empty plan (useful as a no-op reconfiguration in tests).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            routers: Vec::new(),
+            migrations: Vec::new(),
+        }
+    }
+}
+
+/// Error returned when a reconfiguration overlaps a running one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigInProgress;
+
+impl fmt::Display for ReconfigInProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a reconfiguration wave is already in progress")
+    }
+}
+
+impl std::error::Error for ReconfigInProgress {}
+
+/// The per-POI payload of a ③ `SEND_RECONF` message.
+pub(crate) struct StagedReconf {
+    pub(crate) routers: Vec<(EdgeId, Arc<dyn KeyRouter>)>,
+    pub(crate) send: Vec<(Key, PoiId)>,
+    pub(crate) receive: Vec<Key>,
+}
+
+/// Control-plane messages exchanged during a wave.
+pub(crate) enum ControlMsg {
+    Reconf(StagedReconf),
+    Propagate,
+}
+
+/// Manager-side progress tracking of the running wave.
+pub(crate) struct ReconfigExec {
+    pub(crate) acks_pending: usize,
+    pub(crate) applies_pending: usize,
+}
+
+impl Simulation {
+    /// Starts the online reconfiguration protocol for `plan`.
+    ///
+    /// Control messages take one window per hop, mirroring the paper's
+    /// progressive wave; the data stream keeps flowing throughout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReconfigInProgress`] if a previous wave has not
+    /// finished applying (pending state migrations do not block a new
+    /// wave, matching the paper's continuous operation).
+    pub fn start_reconfiguration(&mut self, plan: ReconfigPlan) -> Result<(), ReconfigInProgress> {
+        if self.reconfig.is_some() {
+            return Err(ReconfigInProgress);
+        }
+        let n = self.pois.len();
+        let mut routers: Vec<Vec<(EdgeId, Arc<dyn KeyRouter>)>> = vec![Vec::new(); n];
+        for (poi, edge, router) in plan.routers {
+            routers[poi.index()].push((edge, router));
+        }
+        let mut send: Vec<Vec<(Key, PoiId)>> = vec![Vec::new(); n];
+        let mut receive: Vec<Vec<Key>> = vec![Vec::new(); n];
+        for (from, key, to) in plan.migrations {
+            assert_eq!(
+                self.pois[from.index()].po,
+                self.pois[to.index()].po,
+                "state migrates between instances of one operator"
+            );
+            send[from.index()].push((key, to));
+            receive[to.index()].push(key);
+        }
+        let due = self.window_index; // delivered at the next step (1 hop)
+        for idx in (0..n).rev() {
+            let staged = StagedReconf {
+                routers: std::mem::take(&mut routers[idx]),
+                send: std::mem::take(&mut send[idx]),
+                receive: std::mem::take(&mut receive[idx]),
+            };
+            self.control_queue.push((due, idx, ControlMsg::Reconf(staged)));
+        }
+        self.reconfig = Some(ReconfigExec {
+            acks_pending: n,
+            applies_pending: n,
+        });
+        Ok(())
+    }
+
+    /// `true` while the protocol wave (③–⑤) is still running.
+    #[must_use]
+    pub fn reconfig_active(&self) -> bool {
+        self.reconfig.is_some()
+    }
+
+    /// Number of keys still awaiting their migrated state (⑥ in
+    /// flight).
+    #[must_use]
+    pub fn pending_migrations(&self) -> usize {
+        self.pois.iter().map(|p| p.pending.len()).sum()
+    }
+
+    /// Processes every control message due at the current window.
+    pub(crate) fn process_due_control(&mut self, wm: &mut WindowMetrics) {
+        let now = self.window_index;
+        if self.control_queue.is_empty() {
+            return;
+        }
+        // Stable processing order: (due, poi), preserving insertion
+        // order for equal keys.
+        let mut due: Vec<(u64, usize, ControlMsg)> = Vec::new();
+        let mut remaining = Vec::with_capacity(self.control_queue.len());
+        for msg in self.control_queue.drain(..) {
+            if msg.0 <= now {
+                due.push(msg);
+            } else {
+                remaining.push(msg);
+            }
+        }
+        self.control_queue = remaining;
+        due.sort_by_key(|&(when, poi, _)| (when, poi));
+        for (_, poi, msg) in due {
+            match msg {
+                ControlMsg::Reconf(staged) => self.handle_reconf(poi, staged, now),
+                ControlMsg::Propagate => self.handle_propagate(poi, now, wm),
+            }
+        }
+    }
+
+    /// ③/④: stage the new configuration, start buffering, ack.
+    fn handle_reconf(&mut self, idx: usize, staged: StagedReconf, now: u64) {
+        {
+            let poi = &mut self.pois[idx];
+            // Stragglers from the previous reconfiguration are assumed
+            // drained by the time the next wave starts.
+            poi.departed.clear();
+            for &key in &staged.receive {
+                poi.pending.entry(key).or_default();
+            }
+            let pred: usize = self.topo.in_edges[poi.po.index()]
+                .iter()
+                .map(|&e| self.topo.pos[self.topo.edges[e.index()].from.index()].parallelism)
+                .sum();
+            // Root operators receive the manager's single propagate.
+            poi.awaiting_propagates = pred.max(1);
+            poi.staged = Some(staged);
+        }
+        let exec = self
+            .reconfig
+            .as_mut()
+            .expect("reconf message implies an active wave");
+        exec.acks_pending -= 1;
+        if exec.acks_pending == 0 {
+            // ⑤: all acks received; propagate to the root operators.
+            let roots: Vec<usize> = (0..self.topo.pos.len())
+                .filter(|&po| self.topo.in_edges[po].is_empty())
+                .flat_map(|po| {
+                    let base = self.poi_base[po];
+                    (0..self.topo.pos[po].parallelism).map(move |i| base + i)
+                })
+                .collect();
+            for poi in roots {
+                self.control_queue.push((now + 1, poi, ControlMsg::Propagate));
+            }
+        }
+    }
+
+    /// ⑤/⑥: count propagates; on the last one, apply the staged
+    /// configuration, migrate state, forward the wave.
+    fn handle_propagate(&mut self, idx: usize, now: u64, wm: &mut WindowMetrics) {
+        {
+            let poi = &mut self.pois[idx];
+            assert!(
+                poi.awaiting_propagates > 0,
+                "unexpected propagate at instance {idx}"
+            );
+            poi.awaiting_propagates -= 1;
+            if poi.awaiting_propagates > 0 {
+                return;
+            }
+        }
+        let staged = self.pois[idx]
+            .staged
+            .take()
+            .expect("propagate wave reached an unstaged instance");
+
+        // Swap in the new routing tables.
+        for (edge, router) in staged.routers {
+            self.set_poi_router(PoiId(idx), edge, router);
+        }
+
+        // ⑥: ship the state of reassigned keys to their new owners.
+        for (key, dest) in staged.send {
+            let state = self.pois[idx].state.remove(&key);
+            self.pois[idx].departed.insert(key, dest);
+            self.send_migration(idx, dest.index(), key, state, wm);
+        }
+
+        // Forward the wave to every instance of every successor.
+        let successors: Vec<usize> = self.topo.out_edges[self.pois[idx].po.index()]
+            .iter()
+            .flat_map(|&e| {
+                let to = self.topo.edges[e.index()].to;
+                let base = self.poi_base[to.index()];
+                (0..self.topo.pos[to.index()].parallelism).map(move |i| base + i)
+            })
+            .collect();
+        for poi in successors {
+            self.control_queue.push((now + 1, poi, ControlMsg::Propagate));
+        }
+
+        let exec = self
+            .reconfig
+            .as_mut()
+            .expect("apply implies an active wave");
+        exec.applies_pending -= 1;
+        if exec.applies_pending == 0 {
+            self.reconfig = None;
+        }
+    }
+
+    /// Transfers one key's state to `to_poi`, in memory when
+    /// co-located, over the NIC otherwise.
+    fn send_migration(
+        &mut self,
+        from_idx: usize,
+        to_idx: usize,
+        key: Key,
+        state: Option<StateValue>,
+        wm: &mut WindowMetrics,
+    ) {
+        let from_server = self.pois[from_idx].server;
+        let to_server = self.pois[to_idx].server;
+        if from_server == to_server {
+            wm.migrated_states += 1;
+            self.apply_migration(to_idx, key, state);
+            return;
+        }
+        let state_bytes = state.as_ref().map_or(0, StateValue::size_bytes) + 8;
+        let bytes = self.cluster.message_bytes(state_bytes);
+        self.servers[from_server.0].backlog.push_back(NetMsg {
+            from_server: from_server.0,
+            to_poi: to_idx,
+            bytes,
+            payload: NetPayload::Migrate { key, state },
+        });
+    }
+
+    /// Installs migrated state at its new owner and releases any
+    /// buffered tuples for the key (front of queue, preserving their
+    /// arrival order).
+    pub(crate) fn apply_migration(&mut self, to_idx: usize, key: Key, state: Option<StateValue>) {
+        let poi = &mut self.pois[to_idx];
+        if let Some(state) = state {
+            poi.state.insert(key, state);
+        }
+        if let Some(buffered) = poi.pending.remove(&key) {
+            for t in buffered.into_iter().rev() {
+                poi.input.push_front(t);
+            }
+        }
+    }
+
+    /// Immediately migrates key state between two instances of one
+    /// operator *without* the protocol (test/diagnostic helper;
+    /// production reconfigurations go through
+    /// [`start_reconfiguration`](Self::start_reconfiguration)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instances belong to different operators.
+    pub fn force_migrate(&mut self, from: PoiId, key: Key, to: PoiId) {
+        assert_eq!(
+            self.pois[from.index()].po,
+            self.pois[to.index()].po,
+            "state migrates between instances of one operator"
+        );
+        let state = self.pois[from.index()].state.remove(&key);
+        self.apply_migration(to.index(), key, state);
+    }
+
+    /// Routing-table lookup helper: which instance of the edge's
+    /// destination would `key` go to right now, according to sender
+    /// `poi`'s router?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poi` has no fields-grouped out edge `edge`.
+    #[must_use]
+    pub fn current_route(&self, poi: PoiId, edge: EdgeId, key: Key) -> u32 {
+        let out = self.pois[poi.index()]
+            .out
+            .iter()
+            .find(|o| o.edge == edge)
+            .expect("poi has no such out edge");
+        match &out.kind {
+            crate::sim::OutKind::Fields { router, .. } => {
+                let parallelism = self.topo.pos[out.dest_po.index()].parallelism;
+                router.route(key, parallelism)
+            }
+            _ => panic!("edge is not fields-grouped"),
+        }
+    }
+
+    /// Builds the `(old owner, key, new owner)` migration list implied
+    /// by changing the routing of `edge` so that each listed key maps
+    /// to the given destination instance, taking the *current* routing
+    /// as the old assignment.
+    ///
+    /// This helper lets policy crates compute migrations without
+    /// duplicating the old-route lookup; `keys` pairs each key with its
+    /// new destination instance index.
+    #[must_use]
+    pub fn migrations_for(
+        &self,
+        edge: EdgeId,
+        keys: &HashMap<Key, u32>,
+    ) -> Vec<(PoiId, Key, PoiId)> {
+        let dest_po: PoId = self.topo.edges[edge.index()].to;
+        let from_po = self.topo.edges[edge.index()].from;
+        let sender = self.poi_ids(from_po)[0];
+        let dest_pois = self.poi_ids(dest_po);
+        let mut migrations = Vec::new();
+        for (&key, &new_instance) in keys {
+            let old_instance = self.current_route(sender, edge, key);
+            if old_instance != new_instance {
+                migrations.push((
+                    dest_pois[old_instance as usize],
+                    key,
+                    dest_pois[new_instance as usize],
+                ));
+            }
+        }
+        migrations.sort_by_key(|&(_, k, _)| k);
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::operator::CountOperator;
+    use crate::router::{HashRouter, ModuloRouter, ShiftedRouter};
+    use crate::sim::{Placement, SimConfig};
+    use crate::topology::{Grouping, SourceRate, Topology};
+    use crate::tuple::Tuple;
+
+    /// n sources emitting (c % keys, c % keys) so both hops share keys.
+    fn chain(n: usize, keys: u64) -> Topology {
+        let mut b = Topology::builder();
+        let s = b.source("S", n, SourceRate::PerSecond(5_000.0), move |i| {
+            let mut c = i as u64;
+            Box::new(move || {
+                c += 1;
+                Some(Tuple::new([Key::new(c % keys), Key::new(c % keys)], 0))
+            })
+        });
+        let a = b.stateful("A", n, CountOperator::factory());
+        let bb = b.stateful("B", n, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        b.connect(a, bb, Grouping::fields(1));
+        b.build().unwrap()
+    }
+
+    fn sim(n: usize, keys: u64) -> Simulation {
+        let topo = chain(n, keys);
+        let cluster = ClusterSpec::lan_10g(n);
+        let placement = Placement::aligned(&topo, n);
+        Simulation::new(topo, cluster, placement, SimConfig::default())
+    }
+
+    fn total_counts(sim: &Simulation, po_name: &str) -> HashMap<Key, u64> {
+        let po = sim.topology().po_by_name(po_name).unwrap();
+        let mut counts = HashMap::new();
+        for poi in sim.poi_ids(po) {
+            for (&k, v) in sim.poi_state(poi) {
+                *counts.entry(k).or_insert(0) += v.as_count().unwrap();
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn empty_plan_completes() {
+        let mut s = sim(2, 8);
+        s.run(3);
+        s.start_reconfiguration(ReconfigPlan::empty()).unwrap();
+        assert!(s.reconfig_active());
+        s.run(10);
+        assert!(!s.reconfig_active());
+        assert_eq!(s.pending_migrations(), 0);
+    }
+
+    #[test]
+    fn overlapping_waves_rejected() {
+        let mut s = sim(2, 8);
+        s.start_reconfiguration(ReconfigPlan::empty()).unwrap();
+        assert_eq!(
+            s.start_reconfiguration(ReconfigPlan::empty()),
+            Err(ReconfigInProgress)
+        );
+    }
+
+    #[test]
+    fn router_swap_takes_effect_in_wave_order() {
+        let mut s = sim(2, 2);
+        s.run(5);
+        let edge_ab = EdgeId(1);
+        let a = s.topology().po_by_name("A").unwrap();
+        let a_pois = s.poi_ids(a);
+        // Swap hop A→B from hash to modulo on every A instance.
+        let plan = ReconfigPlan {
+            routers: a_pois
+                .iter()
+                .map(|&p| (p, edge_ab, Arc::new(ModuloRouter) as Arc<dyn KeyRouter>))
+                .collect(),
+            migrations: Vec::new(),
+        };
+        s.start_reconfiguration(plan).unwrap();
+        s.run(10);
+        assert!(!s.reconfig_active());
+        for &p in &a_pois {
+            assert_eq!(s.current_route(p, edge_ab, Key::new(1)), 1);
+            assert_eq!(s.current_route(p, edge_ab, Key::new(0)), 0);
+        }
+    }
+
+    #[test]
+    fn state_is_conserved_across_migration() {
+        let keys = 6u64;
+        let mut s = sim(3, keys);
+        s.run(10);
+        let before = total_counts(&s, "B");
+        let emitted_before = s.metrics().total_emitted();
+        assert!(emitted_before > 0);
+
+        // Move every key of hop A→B to the modulo assignment, with the
+        // matching migrations, through the full protocol.
+        let edge_ab = EdgeId(1);
+        let new_owner: HashMap<Key, u32> = (0..keys)
+            .map(|k| (Key::new(k), (k % 3) as u32))
+            .collect();
+        let migrations = s.migrations_for(edge_ab, &new_owner);
+        assert!(!migrations.is_empty(), "hash and modulo should disagree");
+        let a_pois = s.poi_ids(s.topology().po_by_name("A").unwrap());
+        let plan = ReconfigPlan {
+            routers: a_pois
+                .iter()
+                .map(|&p| (p, edge_ab, Arc::new(ModuloRouter) as Arc<dyn KeyRouter>))
+                .collect(),
+            migrations,
+        };
+        s.start_reconfiguration(plan).unwrap();
+        s.run(30);
+        assert!(!s.reconfig_active());
+        assert_eq!(s.pending_migrations(), 0);
+
+        // No tuple was lost or double counted: each key's total count
+        // across B instances equals the tuples processed for it, and
+        // keys' counts never decreased.
+        let after = total_counts(&s, "B");
+        for (k, n_before) in &before {
+            assert!(after[k] >= *n_before, "count of {k} shrank");
+        }
+        let total_after: u64 = after.values().sum();
+        let b_po = s.topology().po_by_name("B").unwrap();
+        let b_pois = s.poi_ids(b_po);
+        let processed: u64 = s
+            .metrics()
+            .windows()
+            .iter()
+            .map(|w| {
+                b_pois
+                    .iter()
+                    .map(|p| w.poi_processed[p.index()])
+                    .sum::<u64>()
+            })
+            .sum();
+        let forwarded: u64 = s.metrics().windows().iter().map(|w| w.late_forwarded).sum();
+        assert_eq!(
+            total_after,
+            processed - forwarded,
+            "state must equal processed tuples (minus forwarded stragglers)"
+        );
+    }
+
+    #[test]
+    fn each_key_owned_by_one_instance_after_reconfig() {
+        let keys = 8u64;
+        let mut s = sim(2, keys);
+        s.run(8);
+        let edge_ab = EdgeId(1);
+        let new_owner: HashMap<Key, u32> = (0..keys)
+            .map(|k| (Key::new(k), (k % 2) as u32))
+            .collect();
+        let migrations = s.migrations_for(edge_ab, &new_owner);
+        let a_pois = s.poi_ids(s.topology().po_by_name("A").unwrap());
+        let plan = ReconfigPlan {
+            routers: a_pois
+                .iter()
+                .map(|&p| (p, edge_ab, Arc::new(ModuloRouter) as Arc<dyn KeyRouter>))
+                .collect(),
+            migrations,
+        };
+        s.start_reconfiguration(plan).unwrap();
+        s.run(30);
+        let b_pois = s.poi_ids(s.topology().po_by_name("B").unwrap());
+        let mut owner: HashMap<Key, usize> = HashMap::new();
+        for &poi in &b_pois {
+            for &k in s.poi_state(poi).keys() {
+                assert!(
+                    owner.insert(k, poi.index()).is_none(),
+                    "key {k} held by two instances"
+                );
+            }
+        }
+        // And ownership matches the new table.
+        for (&k, &poi_idx) in &owner {
+            let expected = b_pois[new_owner[&k] as usize].index();
+            assert_eq!(poi_idx, expected, "key {k} at wrong owner");
+        }
+    }
+
+    #[test]
+    fn locality_improves_after_reconfig() {
+        // Start with adversarial routing, reconfigure to aligned
+        // modulo: the A→B hop becomes fully local.
+        let n = 3;
+        let keys = n as u64;
+        let mut b = Topology::builder();
+        let src = b.source("S", n, SourceRate::PerSecond(20_000.0), move |i| {
+            let mut c = i as u64;
+            Box::new(move || {
+                c += 1;
+                let k = Key::new(c % keys);
+                Some(Tuple::new([k, k], 0))
+            })
+        });
+        let a = b.stateful("A", n, CountOperator::factory());
+        let bb = b.stateful("B", n, CountOperator::factory());
+        b.connect(src, a, Grouping::fields_with(0, Arc::new(ModuloRouter)));
+        b.connect(a, bb, Grouping::fields_with(1, Arc::new(ShiftedRouter::new(1))));
+        let topo = b.build().unwrap();
+        let cluster = ClusterSpec::lan_10g(n);
+        let placement = Placement::aligned(&topo, n);
+        let mut s = Simulation::new(topo, cluster, placement, SimConfig::default());
+
+        s.run(10);
+        let edge_ab = EdgeId(1);
+        let locality_before = s.metrics().edge_locality(edge_ab, 0);
+        assert!(locality_before < 0.01, "shifted routing must be remote");
+
+        let new_owner: HashMap<Key, u32> =
+            (0..keys).map(|k| (Key::new(k), k as u32)).collect();
+        let migrations = s.migrations_for(edge_ab, &new_owner);
+        let a_pois = s.poi_ids(s.topology().po_by_name("A").unwrap());
+        let plan = ReconfigPlan {
+            routers: a_pois
+                .iter()
+                .map(|&p| (p, edge_ab, Arc::new(ModuloRouter) as Arc<dyn KeyRouter>))
+                .collect(),
+            migrations,
+        };
+        s.start_reconfiguration(plan).unwrap();
+        s.run(20);
+        let windows = s.metrics().windows();
+        let tail = &windows[windows.len() - 5..];
+        let (mut local, mut remote) = (0, 0);
+        for w in tail {
+            local += w.edges[edge_ab.index()].local;
+            remote += w.edges[edge_ab.index()].remote;
+        }
+        assert!(local > 0);
+        assert_eq!(remote, 0, "post-reconfig hop must be fully local");
+    }
+
+    #[test]
+    fn force_migrate_moves_state() {
+        let mut s = sim(2, 4);
+        s.run(5);
+        let b_pois = s.poi_ids(s.topology().po_by_name("B").unwrap());
+        let key = *s
+            .poi_state(b_pois[0])
+            .keys()
+            .next()
+            .expect("instance 0 holds some key");
+        let count = s.poi_state(b_pois[0])[&key].as_count().unwrap();
+        s.force_migrate(b_pois[0], key, b_pois[1]);
+        assert!(!s.poi_state(b_pois[0]).contains_key(&key));
+        assert_eq!(s.poi_state(b_pois[1])[&key].as_count(), Some(count));
+    }
+
+    #[test]
+    fn throughput_not_disrupted_by_reconfig() {
+        // Fig. 13's claim: deploying a configuration and migrating is
+        // fast and does not hurt throughput. With a no-op plan the
+        // throughput before/after must be statistically identical.
+        let mut s = sim(2, 16);
+        s.run(20);
+        let before = s.metrics().avg_throughput(10);
+        let a_pois = s.poi_ids(s.topology().po_by_name("A").unwrap());
+        let plan = ReconfigPlan {
+            routers: a_pois
+                .iter()
+                .map(|&p| (p, EdgeId(1), Arc::new(HashRouter) as Arc<dyn KeyRouter>))
+                .collect(),
+            migrations: Vec::new(),
+        };
+        s.start_reconfiguration(plan).unwrap();
+        s.run(20);
+        let after = s.metrics().avg_throughput(25);
+        assert!(
+            (after - before).abs() / before < 0.05,
+            "reconfig disrupted throughput: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Key routers: the pluggable policy behind fields grouping.
+
+use crate::key::{splitmix64, Key};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decides which instance of the downstream operator receives a key.
+///
+/// This is the extension point the paper's contribution plugs into:
+/// the default is [`HashRouter`] (Storm's fields grouping); the
+/// locality-aware system swaps in a table-based router generated from
+/// the partitioned key graph. Implementations must be pure functions
+/// of `(key, instances)` so that routing is deterministic.
+pub trait KeyRouter: Send + Sync {
+    /// Instance index in `0..instances` for `key`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `instances == 0`.
+    fn route(&self, key: Key, instances: usize) -> u32;
+
+    /// Short name used in experiment logs.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+impl fmt::Debug for dyn KeyRouter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyRouter({})", self.name())
+    }
+}
+
+/// Hash-based fields grouping: `hash(key) % instances`.
+///
+/// Random-but-deterministic assignment; the baseline in every
+/// experiment and the fallback for keys absent from routing tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashRouter;
+
+impl KeyRouter for HashRouter {
+    fn route(&self, key: Key, instances: usize) -> u32 {
+        assert!(instances > 0, "routing to an operator with no instances");
+        (key.stable_hash() % instances as u64) as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Modulo routing: key `v` goes to instance `v % instances`.
+///
+/// For the synthetic workload of §4.2, whose keys are integers in
+/// `0..n`, this is exactly the "locality-aware" oracle routing table:
+/// tuple `(i, j)` goes to instance `i` of the first operator and
+/// instance `j` of the second, so tuples with `i == j` stay on one
+/// server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModuloRouter;
+
+impl KeyRouter for ModuloRouter {
+    fn route(&self, key: Key, instances: usize) -> u32 {
+        assert!(instances > 0, "routing to an operator with no instances");
+        (key.value() % instances as u64) as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "modulo"
+    }
+}
+
+/// Adversarial routing: key `v` goes to instance `(v + shift) %
+/// instances`.
+///
+/// Paired with [`ModuloRouter`] on the previous hop, a `shift` of 1
+/// guarantees that correlated synthetic tuples `(i, i)` always change
+/// server between the two stateful operators — the paper's
+/// "worst-case" lower bound (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShiftedRouter {
+    shift: u64,
+}
+
+impl ShiftedRouter {
+    /// Creates a router displacing keys by `shift` instances.
+    #[must_use]
+    pub fn new(shift: u64) -> Self {
+        Self { shift }
+    }
+}
+
+impl Default for ShiftedRouter {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl KeyRouter for ShiftedRouter {
+    fn route(&self, key: Key, instances: usize) -> u32 {
+        assert!(instances > 0, "routing to an operator with no instances");
+        ((key.value() + self.shift) % instances as u64) as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "shifted"
+    }
+}
+
+/// Balanced random-but-deterministic routing: keys are spread by a
+/// seeded permutation of `0..instances`, so a key domain of exactly
+/// `n` integer keys (the synthetic workload of §4.2) still loads every
+/// instance evenly — as Storm's fields grouping does for integer keys,
+/// whose Java hash is the identity — while the assignment remains
+/// uncorrelated with any other operator's.
+///
+/// Keys outside `0..instances` are hashed first, preserving the
+/// uniform spread for large key domains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutationRouter {
+    perm: Vec<u32>,
+    seed: u64,
+}
+
+impl PermutationRouter {
+    /// Creates the router for a destination with `instances`
+    /// instances, shuffled by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances == 0`.
+    #[must_use]
+    pub fn new(instances: usize, seed: u64) -> Self {
+        assert!(instances > 0, "routing to an operator with no instances");
+        let mut perm: Vec<u32> = (0..instances as u32).collect();
+        // Seeded Fisher-Yates using the splitmix stream.
+        let mut state = seed;
+        for i in (1..instances).rev() {
+            state = crate::key::splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        Self { perm, seed }
+    }
+}
+
+impl KeyRouter for PermutationRouter {
+    fn route(&self, key: Key, instances: usize) -> u32 {
+        assert!(instances > 0, "routing to an operator with no instances");
+        if instances != self.perm.len() {
+            // Built for another parallelism: degrade to seeded hash.
+            return ((key.stable_hash() ^ self.seed) % instances as u64) as u32;
+        }
+        let slot = if key.value() < instances as u64 {
+            key.value() as usize
+        } else {
+            (key.stable_hash() % instances as u64) as usize
+        };
+        self.perm[slot]
+    }
+
+    fn name(&self) -> &'static str {
+        "permutation"
+    }
+}
+
+/// Partial key grouping (Nasir et al., ICDE 2015 — paper §5.2): each
+/// key may go to either of two hash-chosen candidate instances, and
+/// the sender picks the currently less-loaded one.
+///
+/// PKG balances skewed streams beautifully, but **splits each key's
+/// state across two instances**, so it only suits operators whose
+/// per-key state is aggregatable downstream — exactly the limitation
+/// the paper contrasts its routing tables against. Provided here as
+/// the load-balancing baseline for the balance ablation bench.
+#[derive(Debug)]
+pub struct PartialKeyRouter {
+    loads: Vec<AtomicU64>,
+}
+
+impl PartialKeyRouter {
+    /// Creates the router for a destination with `instances`
+    /// instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances == 0`.
+    #[must_use]
+    pub fn new(instances: usize) -> Self {
+        assert!(instances > 0, "routing to an operator with no instances");
+        Self {
+            loads: (0..instances).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Tuples sent so far to each instance.
+    #[must_use]
+    pub fn loads(&self) -> Vec<u64> {
+        self.loads.iter().map(|l| l.load(Ordering::Relaxed)).collect()
+    }
+}
+
+impl KeyRouter for PartialKeyRouter {
+    fn route(&self, key: Key, instances: usize) -> u32 {
+        assert!(instances > 0, "routing to an operator with no instances");
+        let h1 = (key.stable_hash() % instances as u64) as usize;
+        if instances != self.loads.len() {
+            return h1 as u32; // built for another parallelism
+        }
+        let h2 = (splitmix64(key.value() ^ 0x7ce9_u64) % instances as u64) as usize;
+        let pick = if self.loads[h1].load(Ordering::Relaxed)
+            <= self.loads[h2].load(Ordering::Relaxed)
+        {
+            h1
+        } else {
+            h2
+        };
+        self.loads[pick].fetch_add(1, Ordering::Relaxed);
+        pick as u32
+    }
+
+    fn name(&self) -> &'static str {
+        "pkg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_router_is_stable_and_in_range() {
+        let r = HashRouter;
+        for v in 0..100 {
+            let k = Key::new(v);
+            let a = r.route(k, 6);
+            assert!(a < 6);
+            assert_eq!(a, r.route(k, 6), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn hash_router_spreads_uniformly() {
+        let r = HashRouter;
+        let mut counts = [0u32; 4];
+        for v in 0..4000 {
+            counts[r.route(Key::new(v), 4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "bucket count {c} skewed");
+        }
+    }
+
+    #[test]
+    fn modulo_router_is_identity_for_small_keys() {
+        let r = ModuloRouter;
+        for v in 0..6 {
+            assert_eq!(r.route(Key::new(v), 6), v as u32);
+        }
+        assert_eq!(r.route(Key::new(7), 6), 1);
+    }
+
+    #[test]
+    fn shifted_router_never_matches_modulo() {
+        let m = ModuloRouter;
+        let s = ShiftedRouter::new(1);
+        for v in 0..100 {
+            let k = Key::new(v);
+            for n in 2..7 {
+                assert_ne!(m.route(k, n), s.route(k, n), "shift must displace");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no instances")]
+    fn zero_instances_panics() {
+        let _ = HashRouter.route(Key::new(1), 0);
+    }
+
+    #[test]
+    fn permutation_router_is_balanced_bijection() {
+        let r = PermutationRouter::new(6, 42);
+        let mut seen = [false; 6];
+        for v in 0..6 {
+            let dest = r.route(Key::new(v), 6) as usize;
+            assert!(!seen[dest], "two keys map to instance {dest}");
+            seen[dest] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn permutation_routers_with_different_seeds_decorrelate() {
+        let a = PermutationRouter::new(6, 1);
+        let b = PermutationRouter::new(6, 2);
+        let matches = (0..6)
+            .filter(|&v| a.route(Key::new(v), 6) == b.route(Key::new(v), 6))
+            .count();
+        assert!(matches < 6, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn permutation_router_handles_large_keys() {
+        let r = PermutationRouter::new(4, 9);
+        for v in 1000..1100 {
+            assert!(r.route(Key::new(v), 4) < 4);
+        }
+    }
+
+    #[test]
+    fn permutation_router_degrades_on_parallelism_mismatch() {
+        let r = PermutationRouter::new(4, 9);
+        for v in 0..100 {
+            assert!(r.route(Key::new(v), 7) < 7);
+        }
+    }
+
+    #[test]
+    fn pkg_balances_a_skewed_stream() {
+        // One scorching key + a long tail: hash piles the hot key on
+        // one instance; PKG splits it across its two candidates.
+        let n = 4;
+        let pkg = PartialKeyRouter::new(n);
+        let hash = HashRouter;
+        let mut hash_loads = [0u64; 4];
+        for i in 0..10_000u64 {
+            let key = if i % 2 == 0 { Key::new(0) } else { Key::new(i) };
+            let _ = pkg.route(key, n);
+            hash_loads[hash.route(key, n) as usize] += 1;
+        }
+        let pkg_loads = pkg.loads();
+        let imb = |loads: &[u64]| {
+            let max = *loads.iter().max().unwrap() as f64;
+            let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+            max / avg
+        };
+        assert!(
+            imb(&pkg_loads) < 1.3,
+            "pkg should balance: {pkg_loads:?}"
+        );
+        assert!(
+            imb(&hash_loads) > 1.8,
+            "hash should be skewed: {hash_loads:?}"
+        );
+    }
+
+    #[test]
+    fn pkg_uses_at_most_two_instances_per_key() {
+        let n = 6;
+        let pkg = PartialKeyRouter::new(n);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(pkg.route(Key::new(42), n));
+        }
+        assert!(seen.len() <= 2, "key split over {seen:?}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Data tuples flowing through a topology.
+
+use crate::key::Key;
+use std::fmt;
+
+/// Maximum number of key fields a tuple can carry.
+///
+/// The evaluation applications use at most two (e.g. location and
+/// hashtag); four leaves room for richer DAGs without heap-allocating
+/// per tuple.
+pub const MAX_FIELDS: usize = 4;
+
+/// A data tuple: up to [`MAX_FIELDS`] routing keys plus an opaque
+/// payload accounted for only by its size (the paper's "padding").
+///
+/// The payload contents are irrelevant to routing and to the cost
+/// model — only `payload_bytes` matters for network transfer — so the
+/// simulator does not materialize them.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_engine::{Key, Tuple};
+///
+/// // A geo-tagged message: (location, hashtag) with 8 kB of content.
+/// let t = Tuple::new([Key::new(3), Key::new(17)], 8 * 1024);
+/// assert_eq!(t.key(0), Key::new(3));
+/// assert_eq!(t.key(1), Key::new(17));
+/// assert_eq!(t.payload_bytes(), 8192);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    fields: [Key; MAX_FIELDS],
+    field_count: u8,
+    payload_bytes: u32,
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tuple")
+            .field("fields", &self.keys())
+            .field("payload_bytes", &self.payload_bytes)
+            .finish()
+    }
+}
+
+impl Tuple {
+    /// Creates a tuple from its key fields and payload size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_FIELDS`] keys are supplied.
+    #[must_use]
+    pub fn new<I>(keys: I, payload_bytes: u32) -> Self
+    where
+        I: IntoIterator<Item = Key>,
+    {
+        let mut fields = [Key::default(); MAX_FIELDS];
+        let mut field_count = 0u8;
+        for key in keys {
+            assert!(
+                (field_count as usize) < MAX_FIELDS,
+                "tuple supports at most {MAX_FIELDS} key fields"
+            );
+            fields[field_count as usize] = key;
+            field_count += 1;
+        }
+        Self {
+            fields,
+            field_count,
+            payload_bytes,
+        }
+    }
+
+    /// Number of key fields.
+    #[must_use]
+    pub fn field_count(&self) -> usize {
+        self.field_count as usize
+    }
+
+    /// The key in field `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= field_count()`.
+    #[must_use]
+    pub fn key(&self, index: usize) -> Key {
+        assert!(index < self.field_count(), "field index out of range");
+        self.fields[index]
+    }
+
+    /// All key fields as a slice.
+    #[must_use]
+    pub fn keys(&self) -> &[Key] {
+        &self.fields[..self.field_count as usize]
+    }
+
+    /// Replaces the key in field `index`, returning the updated tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= field_count()`.
+    #[must_use]
+    pub fn with_key(mut self, index: usize, key: Key) -> Self {
+        assert!(index < self.field_count(), "field index out of range");
+        self.fields[index] = key;
+        self
+    }
+
+    /// Payload size in bytes (the paper's padding parameter).
+    #[must_use]
+    pub fn payload_bytes(&self) -> u32 {
+        self.payload_bytes
+    }
+
+    /// Size of this tuple on the wire: payload plus per-field key
+    /// encoding (8 bytes per key).
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        u64::from(self.payload_bytes) + 8 * self.field_count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new([Key::new(1), Key::new(2)], 100);
+        assert_eq!(t.field_count(), 2);
+        assert_eq!(t.key(0), Key::new(1));
+        assert_eq!(t.key(1), Key::new(2));
+        assert_eq!(t.keys(), &[Key::new(1), Key::new(2)]);
+        assert_eq!(t.payload_bytes(), 100);
+        assert_eq!(t.wire_bytes(), 116);
+    }
+
+    #[test]
+    fn with_key_replaces() {
+        let t = Tuple::new([Key::new(1), Key::new(2)], 0);
+        let t2 = t.with_key(1, Key::new(9));
+        assert_eq!(t2.key(0), Key::new(1));
+        assert_eq!(t2.key(1), Key::new(9));
+        // original untouched (Copy semantics)
+        assert_eq!(t.key(1), Key::new(2));
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::new([], 50);
+        assert_eq!(t.field_count(), 0);
+        assert_eq!(t.wire_bytes(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_fields_panics() {
+        let _ = Tuple::new([Key::new(0); MAX_FIELDS + 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_field_panics() {
+        let t = Tuple::new([Key::new(1)], 0);
+        let _ = t.key(1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Checkpoint/restore integration tests: the engine-side fault
+//! tolerance the paper's §3.4 relies on.
+
+use streamloc_engine::{
+    CheckpointError, ClusterSpec, CountOperator, Grouping, Key, ModuloRouter, Placement,
+    SimConfig, Simulation, SourceRate, Topology, Tuple,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn chain(n: usize, keys: u64) -> Topology {
+    let mut b = Topology::builder();
+    let s = b.source("S", n, SourceRate::PerSecond(10_000.0), move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % keys;
+            Some(Tuple::new([Key::new(k), Key::new(k)], 64))
+        })
+    });
+    let a = b.stateful("A", n, CountOperator::factory());
+    let bb = b.stateful("B", n, CountOperator::factory());
+    b.connect(s, a, Grouping::fields(0));
+    b.connect(a, bb, Grouping::fields(1));
+    b.build().unwrap()
+}
+
+fn sim(n: usize, keys: u64) -> Simulation {
+    let topo = chain(n, keys);
+    let placement = Placement::aligned(&topo, n);
+    Simulation::new(
+        topo,
+        ClusterSpec::lan_10g(n),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+fn state_of(sim: &Simulation, name: &str) -> Vec<HashMap<Key, u64>> {
+    let po = sim.topology().po_by_name(name).unwrap();
+    sim.poi_ids(po)
+        .iter()
+        .map(|&p| {
+            sim.poi_state(p)
+                .iter()
+                .map(|(&k, v)| (k, v.as_count().unwrap()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn restore_rolls_state_back() {
+    let mut s = sim(2, 8);
+    s.run(10);
+    let checkpoint = s.checkpoint().unwrap();
+    let at_checkpoint = state_of(&s, "B");
+
+    s.run(10);
+    assert_ne!(state_of(&s, "B"), at_checkpoint, "state should advance");
+
+    s.restore(&checkpoint).unwrap();
+    assert_eq!(state_of(&s, "B"), at_checkpoint, "state rolled back");
+    assert_eq!(checkpoint.window_index(), 10);
+    assert!(checkpoint.total_keys() > 0);
+
+    // The deployment keeps running after a restore.
+    s.run(10);
+    let after: u64 = state_of(&s, "B")
+        .iter()
+        .flat_map(|m| m.values())
+        .sum();
+    let at: u64 = at_checkpoint.iter().flat_map(|m| m.values()).sum();
+    assert!(after > at, "processing should continue after restore");
+}
+
+#[test]
+fn restore_reinstalls_routers() {
+    let mut s = sim(3, 6);
+    s.run(5);
+    let a = s.topology().po_by_name("A").unwrap();
+    let b = s.topology().po_by_name("B").unwrap();
+    let edge = s.topology().edge_between(a, b).unwrap();
+
+    // Checkpoint with modulo routing installed.
+    s.set_edge_router(edge, Arc::new(ModuloRouter));
+    let checkpoint = s.checkpoint().unwrap();
+    let a_pois = s.poi_ids(a);
+    assert_eq!(s.current_route(a_pois[0], edge, Key::new(4)), 1);
+
+    // Clobber the router, then restore.
+    s.set_edge_router(edge, Arc::new(streamloc_engine::ShiftedRouter::new(1)));
+    assert_eq!(s.current_route(a_pois[0], edge, Key::new(4)), 2);
+    s.restore(&checkpoint).unwrap();
+    assert_eq!(
+        s.current_route(a_pois[0], edge, Key::new(4)),
+        1,
+        "restored router must be the checkpointed one"
+    );
+}
+
+#[test]
+fn checkpoint_refused_during_wave() {
+    let mut s = sim(2, 8);
+    s.run(5);
+    s.start_reconfiguration(streamloc_engine::ReconfigPlan::empty())
+        .unwrap();
+    assert_eq!(
+        s.checkpoint().unwrap_err(),
+        CheckpointError::ReconfigurationInFlight
+    );
+    s.run(10); // wave completes
+    assert!(s.checkpoint().is_ok());
+}
+
+#[test]
+fn restore_rejects_other_topology() {
+    let mut small = sim(2, 8);
+    small.run(5);
+    let checkpoint = small.checkpoint().unwrap();
+    let mut big = sim(3, 8);
+    big.run(5);
+    assert_eq!(
+        big.restore(&checkpoint).unwrap_err(),
+        CheckpointError::ShapeMismatch
+    );
+}
+
+#[test]
+fn inflight_tuples_are_dropped_not_leaked() {
+    let mut s = sim(2, 8);
+    s.run(10);
+    let checkpoint = s.checkpoint().unwrap();
+    s.run(3);
+    s.restore(&checkpoint).unwrap();
+    assert_eq!(s.in_flight(), 0, "restore drops everything volatile");
+    // Conservation from here on: run to a drained-ish steady state and
+    // confirm the accounting stays coherent (no negative in-flight).
+    s.run(20);
+    assert!(s.in_flight() >= 0);
+}

@@ -1,0 +1,257 @@
+//! Property-based tests for the simulator: conservation, routing
+//! determinism and grouping semantics over randomized topologies.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use streamloc_engine::{
+    ClusterSpec, CountOperator, Grouping, IdentityOperator, Key, Placement, SimConfig, Simulation,
+    SourceRate, Topology, Tuple,
+};
+
+/// A randomized linear topology: source → zero or more stateless
+/// stages (shuffle or local-or-shuffle) → stateful A → stateful B.
+#[derive(Debug, Clone)]
+struct ChainShape {
+    parallelism: usize,
+    servers: usize,
+    stateless_stages: Vec<bool>, // true = local-or-shuffle, false = shuffle
+    keys: u64,
+    payload: u32,
+    total: u64,
+}
+
+fn chain_shape() -> impl Strategy<Value = ChainShape> {
+    (
+        1usize..5,
+        1usize..5,
+        prop::collection::vec(any::<bool>(), 0..3),
+        1u64..40,
+        prop::sample::select(vec![0u32, 100, 2048]),
+        5_000u64..20_000,
+    )
+        .prop_map(
+            |(parallelism, servers, stateless_stages, keys, payload, total)| ChainShape {
+                parallelism,
+                servers: servers.min(parallelism),
+                stateless_stages,
+                keys,
+                payload,
+                total,
+            },
+        )
+}
+
+fn build(shape: &ChainShape, seed: u64) -> Simulation {
+    let mut builder = Topology::builder();
+    let keys = shape.keys;
+    let total = shape.total;
+    let parallelism = shape.parallelism;
+    let payload = shape.payload;
+    let source = builder.source("S", parallelism, SourceRate::Saturate, move |i| {
+        let mut c = seed ^ ((i as u64) << 40);
+        let mut left = total / parallelism as u64;
+        Box::new(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            c = c.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            Some(Tuple::new(
+                [Key::new((c >> 5) % keys), Key::new((c >> 23) % keys)],
+                payload,
+            ))
+        })
+    });
+    let mut prev = source;
+    for (idx, &local) in shape.stateless_stages.iter().enumerate() {
+        let stage = builder.stateless(
+            &format!("T{idx}"),
+            parallelism,
+            IdentityOperator::factory(),
+        );
+        let grouping = if local {
+            Grouping::LocalOrShuffle
+        } else {
+            Grouping::Shuffle
+        };
+        builder.connect(prev, stage, grouping);
+        prev = stage;
+    }
+    let a = builder.stateful("A", parallelism, CountOperator::factory());
+    let b = builder.stateful("B", parallelism, CountOperator::factory());
+    builder.connect(prev, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    let topology = builder.build().expect("valid random chain");
+    let placement = Placement::aligned(&topology, shape.servers);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(shape.servers),
+        placement,
+        SimConfig {
+            max_in_flight: 10_000,
+            ..SimConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_tuple_reaches_the_sink(shape in chain_shape(), seed in any::<u64>()) {
+        let mut sim = build(&shape, seed);
+        let windows = sim.run_until_drained(50_000);
+        prop_assert!(windows < 50_000, "failed to drain");
+        let expected = (shape.total / shape.parallelism as u64) * shape.parallelism as u64;
+        prop_assert_eq!(sim.metrics().total_emitted(), expected);
+        prop_assert_eq!(sim.metrics().total_sink(), expected);
+    }
+
+    #[test]
+    fn fields_grouping_gives_unique_key_ownership(
+        shape in chain_shape(), seed in any::<u64>(),
+    ) {
+        let mut sim = build(&shape, seed);
+        sim.run_until_drained(50_000);
+        for name in ["A", "B"] {
+            let po = sim.topology().po_by_name(name).unwrap();
+            let mut owner: HashMap<Key, usize> = HashMap::new();
+            for poi in sim.poi_ids(po) {
+                for &k in sim.poi_state(poi).keys() {
+                    prop_assert!(
+                        owner.insert(k, poi.index()).is_none(),
+                        "{} key {} at two instances", name, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_equal_stream_composition(shape in chain_shape(), seed in any::<u64>()) {
+        let mut sim = build(&shape, seed);
+        sim.run_until_drained(50_000);
+        let a = sim.topology().po_by_name("A").unwrap();
+        let total_counted: u64 = sim
+            .poi_ids(a)
+            .iter()
+            .flat_map(|&p| sim.poi_state(p).values())
+            .map(|v| v.as_count().unwrap())
+            .sum();
+        prop_assert_eq!(total_counted, sim.metrics().total_emitted());
+    }
+
+    #[test]
+    fn local_or_shuffle_never_crosses_when_dest_is_everywhere(
+        parallelism in 1usize..5, seed in any::<u64>(),
+    ) {
+        // Destination has one instance per server: local-or-shuffle
+        // must route 100% locally.
+        let mut builder = Topology::builder();
+        let source = builder.source("S", parallelism, SourceRate::PerSecond(5_000.0), move |i| {
+            let mut c = seed ^ i as u64;
+            Box::new(move || {
+                c += 1;
+                Some(Tuple::new([Key::new(c % 8)], 64))
+            })
+        });
+        let t = builder.stateless("T", parallelism, IdentityOperator::factory());
+        let edge = builder.connect(source, t, Grouping::LocalOrShuffle);
+        let topology = builder.build().unwrap();
+        let placement = Placement::aligned(&topology, parallelism);
+        let mut sim = Simulation::new(
+            topology,
+            ClusterSpec::lan_10g(parallelism),
+            placement,
+            SimConfig::default(),
+        );
+        sim.run(10);
+        prop_assert!(sim.metrics().total_emitted() > 0);
+        prop_assert_eq!(sim.metrics().edge_locality(edge, 0), 1.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(shape in chain_shape(), seed in any::<u64>()) {
+        let mut a = build(&shape, seed);
+        let mut b = build(&shape, seed);
+        a.run(12);
+        b.run(12);
+        let series_a = a.metrics().throughput_series();
+        let series_b = b.metrics().throughput_series();
+        prop_assert_eq!(series_a, series_b);
+        prop_assert_eq!(a.in_flight(), b.in_flight());
+    }
+}
+
+mod fanout_props {
+    use proptest::prelude::*;
+    use streamloc_engine::{
+        ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig, Simulation,
+        SourceRate, Topology, Tuple,
+    };
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// A fan-out DAG: one stateful stage feeding two stateful
+        /// sinks. Every input tuple must be counted once by EACH sink.
+        #[test]
+        fn fanout_delivers_to_every_branch(
+            parallelism in 1usize..4,
+            keys in 1u64..24,
+            seed in any::<u64>(),
+        ) {
+            let total = 12_000u64;
+            let mut b = Topology::builder();
+            let s = b.source("S", parallelism, SourceRate::Saturate, move |i| {
+                let mut c = seed ^ ((i as u64) << 40);
+                let mut left = total / parallelism as u64;
+                Box::new(move || {
+                    if left == 0 {
+                        return None;
+                    }
+                    left -= 1;
+                    c = c.wrapping_add(0x9e37_79b9);
+                    Some(Tuple::new(
+                        [
+                            Key::new(c % keys),
+                            Key::new((c >> 13) % keys),
+                            Key::new((c >> 29) % keys),
+                        ],
+                        64,
+                    ))
+                })
+            });
+            let a = b.stateful("A", parallelism, CountOperator::factory());
+            let left_sink = b.stateful("L", parallelism, CountOperator::factory());
+            let right_sink = b.stateful("R", parallelism, CountOperator::factory());
+            b.connect(s, a, Grouping::fields(0));
+            b.connect(a, left_sink, Grouping::fields(1));
+            b.connect(a, right_sink, Grouping::fields(2));
+            let topo = b.build().unwrap();
+            let placement = Placement::aligned(&topo, parallelism);
+            let mut sim = Simulation::new(
+                topo,
+                ClusterSpec::lan_10g(parallelism),
+                placement,
+                SimConfig {
+                    max_in_flight: 8_000,
+                    ..SimConfig::default()
+                },
+            );
+            let windows = sim.run_until_drained(50_000);
+            prop_assert!(windows < 50_000, "fan-out failed to drain");
+            let expected = (total / parallelism as u64) * parallelism as u64;
+            for name in ["A", "L", "R"] {
+                let po = sim.topology().po_by_name(name).unwrap();
+                let counted: u64 = sim
+                    .poi_ids(po)
+                    .iter()
+                    .flat_map(|&p| sim.poi_state(p).values())
+                    .map(|v| v.as_count().unwrap())
+                    .sum();
+                prop_assert_eq!(counted, expected, "{} missed tuples", name);
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Rack-model integration tests: uplink budgets throttle cross-rack
+//! traffic and the metrics attribute it correctly.
+
+use streamloc_engine::{
+    ClusterSpec, CountOperator, Grouping, Key, ModuloRouter, Placement, ShiftedRouter, SimConfig,
+    Simulation, SourceRate, Topology, Tuple,
+};
+use std::sync::Arc;
+
+/// Chain where every A→B hop moves the tuple `shift` servers over.
+fn shifted_sim(cluster: ClusterSpec, shift: u64) -> (Simulation, streamloc_engine::EdgeId) {
+    let n = cluster.servers;
+    let mut b = Topology::builder();
+    let s = b.source("S", n, SourceRate::Saturate, move |i| {
+        let key = Key::new(i as u64);
+        Box::new(move || Some(Tuple::new([key, key], 4096)))
+    });
+    let a = b.stateful("A", n, CountOperator::factory());
+    let bb = b.stateful("B", n, CountOperator::factory());
+    b.connect(s, a, Grouping::fields_with(0, Arc::new(ModuloRouter)));
+    let edge = b.connect(a, bb, Grouping::fields_with(1, Arc::new(ShiftedRouter::new(shift))));
+    let topo = b.build().unwrap();
+    let placement = Placement::aligned(&topo, n);
+    (
+        Simulation::new(topo, cluster, placement, SimConfig::default()),
+        edge,
+    )
+}
+
+#[test]
+fn intra_rack_traffic_ignores_uplink() {
+    // Shift 1 within racks of 2: server 0→1, 1→2, 2→3, 3→0. Two of
+    // four flows cross racks. With shift 2, all four cross.
+    let cluster = ClusterSpec::lan_10g(4).with_racks(2, 1e9);
+    let (mut sim, edge) = shifted_sim(cluster, 2);
+    sim.run(20);
+    let w = &sim.metrics().windows()[10];
+    assert_eq!(
+        w.edges[edge.index()].cross_rack,
+        w.edges[edge.index()].remote,
+        "shift 2 on 2×2 racks must cross racks on every remote hop"
+    );
+}
+
+#[test]
+fn rack_locality_metric_distinguishes_shifts() {
+    let cluster = ClusterSpec::lan_10g(4).with_racks(2, 10e9);
+    // Shift 1: hops 0→1 (rack 0 internal), 1→2 (cross), 2→3 (rack 1
+    // internal), 3→0 (cross): half the remote traffic crosses racks.
+    let (mut sim, edge) = shifted_sim(cluster, 1);
+    sim.run(20);
+    let rack_loc = sim.metrics().edge_rack_locality(edge, 5);
+    assert!(
+        (rack_loc - 0.5).abs() < 0.05,
+        "expected ~50% rack locality, got {rack_loc}"
+    );
+    // Server locality is zero (every tuple shifts off-server).
+    assert!(sim.metrics().edge_locality(edge, 5) < 0.01);
+}
+
+#[test]
+fn constrained_uplink_throttles_cross_rack_flows() {
+    // All A→B traffic crosses racks (shift 2 on 2×2). A tight uplink
+    // must cost throughput compared to a flat network with identical
+    // NICs.
+    let flat = ClusterSpec::lan_10g(4);
+    let racked = ClusterSpec::lan_10g(4).with_racks(2, 0.5e9);
+    let (mut flat_sim, _) = shifted_sim(flat, 2);
+    let (mut racked_sim, _) = shifted_sim(racked, 2);
+    flat_sim.run(30);
+    racked_sim.run(30);
+    let flat_tput = flat_sim.metrics().avg_throughput(10);
+    let racked_tput = racked_sim.metrics().avg_throughput(10);
+    assert!(
+        racked_tput < flat_tput * 0.6,
+        "uplink bottleneck should bite: flat {flat_tput}, racked {racked_tput}"
+    );
+}
+
+#[test]
+fn generous_uplink_changes_nothing() {
+    let flat = ClusterSpec::lan_10g(4);
+    let racked = ClusterSpec::lan_10g(4).with_racks(2, 100e9);
+    let (mut flat_sim, _) = shifted_sim(flat, 2);
+    let (mut racked_sim, _) = shifted_sim(racked, 2);
+    flat_sim.run(20);
+    racked_sim.run(20);
+    assert_eq!(
+        flat_sim.metrics().throughput_series(),
+        racked_sim.metrics().throughput_series(),
+        "an over-provisioned uplink must be invisible"
+    );
+}
+
+#[test]
+fn latency_reported_for_sinks() {
+    let cluster = ClusterSpec::lan_10g(4);
+    let (mut sim, _) = shifted_sim(cluster, 1);
+    sim.run(20);
+    let avg = sim.metrics().avg_latency(5);
+    let max = sim.metrics().max_latency(5);
+    assert!(avg > 0.0, "pipeline latency must be visible");
+    assert!(max >= avg);
+    // The chain is 3 hops deep; steady-state latency stays within a
+    // few windows unless queues explode.
+    assert!(avg < 60.0 * 0.1, "latency {avg}s unreasonable");
+}

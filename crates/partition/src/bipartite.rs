@@ -1,0 +1,316 @@
+//! Bipartite key graphs built from pair-frequency statistics.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::partition::Partition;
+use crate::Partitioner;
+
+/// Which side of the bipartite key graph a key belongs to.
+///
+/// `Left` keys route to the upstream stateful operator, `Right` keys
+/// to the downstream one (e.g. locations and hashtags in the paper's
+/// running example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Keys of the upstream fields grouping.
+    Left,
+    /// Keys of the downstream fields grouping.
+    Right,
+}
+
+/// The bipartite graph of co-occurring keys (paper Fig. 5).
+///
+/// Vertices are keys weighted by their frequency; an edge weighted
+/// `f(k, k')` connects a left key to a right key each time the pair is
+/// reported by the instrumentation. Partitioning this graph yields the
+/// key→server assignment.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_partition::{KeyGraph, MultilevelPartitioner};
+///
+/// let mut kg = KeyGraph::new();
+/// kg.add_pair("Asia", "#java", 3463);
+/// kg.add_pair("Asia", "#ruby", 3011);
+/// kg.add_pair("Oceania", "#python", 3108);
+/// let assignment = kg.partition(&MultilevelPartitioner::default(), 2, 1.05, 7);
+/// assert_eq!(assignment.left("Asia"), assignment.right("#java"));
+/// assert_eq!(assignment.left("Oceania"), assignment.right("#python"));
+/// assert_ne!(assignment.left("Asia"), assignment.left("Oceania"));
+/// ```
+#[derive(Clone, Default)]
+pub struct KeyGraph<L, R> {
+    left_ids: HashMap<L, VertexId>,
+    right_ids: HashMap<R, VertexId>,
+    builder: GraphBuilder,
+}
+
+impl<L: fmt::Debug, R: fmt::Debug> fmt::Debug for KeyGraph<L, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KeyGraph")
+            .field("left_keys", &self.left_ids.len())
+            .field("right_keys", &self.right_ids.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<L, R> KeyGraph<L, R>
+where
+    L: Eq + Hash + Clone,
+    R: Eq + Hash + Clone,
+{
+    /// Creates an empty key graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            left_ids: HashMap::new(),
+            right_ids: HashMap::new(),
+            builder: GraphBuilder::new(),
+        }
+    }
+
+    /// Number of distinct left keys.
+    #[must_use]
+    pub fn left_len(&self) -> usize {
+        self.left_ids.len()
+    }
+
+    /// Number of distinct right keys.
+    #[must_use]
+    pub fn right_len(&self) -> usize {
+        self.right_ids.len()
+    }
+
+    /// Records that the pair `(left, right)` was observed `count`
+    /// times: both vertex weights and the edge weight grow by `count`.
+    pub fn add_pair(&mut self, left: L, right: R, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let builder = &mut self.builder;
+        let l = *self
+            .left_ids
+            .entry(left)
+            .or_insert_with(|| builder.add_vertex(0));
+        let r = *self
+            .right_ids
+            .entry(right)
+            .or_insert_with(|| builder.add_vertex(0));
+        self.builder.add_vertex_weight(l, count);
+        self.builder.add_vertex_weight(r, count);
+        self.builder.add_edge(l, r, count);
+    }
+
+    /// Adds standalone frequency weight to a left key (for keys whose
+    /// pair partner was not retained by the sketch but whose load still
+    /// matters for balancing).
+    pub fn add_left_weight(&mut self, left: L, count: u64) {
+        let builder = &mut self.builder;
+        let l = *self
+            .left_ids
+            .entry(left)
+            .or_insert_with(|| builder.add_vertex(0));
+        self.builder.add_vertex_weight(l, count);
+    }
+
+    /// Adds standalone frequency weight to a right key.
+    pub fn add_right_weight(&mut self, right: R, count: u64) {
+        let builder = &mut self.builder;
+        let r = *self
+            .right_ids
+            .entry(right)
+            .or_insert_with(|| builder.add_vertex(0));
+        self.builder.add_vertex_weight(r, count);
+    }
+
+    /// Builds the underlying [`Graph`] (consuming the accumulated
+    /// edges) and returns it with the key→vertex maps.
+    #[must_use]
+    pub fn into_graph(self) -> (Graph, HashMap<L, VertexId>, HashMap<R, VertexId>) {
+        (self.builder.build(), self.left_ids, self.right_ids)
+    }
+
+    /// Partitions the key graph into `k` parts under imbalance bound
+    /// `alpha` and returns the per-key assignment (paper §3.3).
+    #[must_use]
+    pub fn partition<P: Partitioner>(
+        &self,
+        partitioner: &P,
+        k: usize,
+        alpha: f64,
+        seed: u64,
+    ) -> KeyAssignment<L, R> {
+        let graph = self.builder.clone().build();
+        let partition = partitioner.partition(&graph, k, alpha, seed);
+        let left = self
+            .left_ids
+            .iter()
+            .map(|(key, &v)| (key.clone(), partition.part(v)))
+            .collect();
+        let right = self
+            .right_ids
+            .iter()
+            .map(|(key, &v)| (key.clone(), partition.part(v)))
+            .collect();
+        let expected_locality = partition.locality(&graph);
+        let imbalance = partition.imbalance(&graph);
+        KeyAssignment {
+            left,
+            right,
+            k,
+            expected_locality,
+            imbalance,
+            partition,
+        }
+    }
+}
+
+/// A key→part assignment produced by partitioning a [`KeyGraph`].
+///
+/// Parts correspond to servers; the routing-table generator turns this
+/// into explicit key→instance routing tables.
+#[derive(Debug, Clone)]
+pub struct KeyAssignment<L, R> {
+    left: HashMap<L, u32>,
+    right: HashMap<R, u32>,
+    k: usize,
+    expected_locality: f64,
+    imbalance: f64,
+    partition: Partition,
+}
+
+impl<L, R> KeyAssignment<L, R>
+where
+    L: Eq + Hash,
+    R: Eq + Hash,
+{
+    /// Part assigned to left key `key`, if it was in the graph.
+    #[must_use]
+    pub fn left<Q>(&self, key: Q) -> Option<u32>
+    where
+        Q: std::borrow::Borrow<L>,
+    {
+        self.left.get(key.borrow()).copied()
+    }
+
+    /// Part assigned to right key `key`, if it was in the graph.
+    #[must_use]
+    pub fn right<Q>(&self, key: Q) -> Option<u32>
+    where
+        Q: std::borrow::Borrow<R>,
+    {
+        self.right.get(key.borrow()).copied()
+    }
+
+    /// Iterates over `(left key, part)` assignments.
+    pub fn left_iter(&self) -> impl Iterator<Item = (&L, u32)> {
+        self.left.iter().map(|(k, &p)| (k, p))
+    }
+
+    /// Iterates over `(right key, part)` assignments.
+    pub fn right_iter(&self) -> impl Iterator<Item = (&R, u32)> {
+        self.right.iter().map(|(k, &p)| (k, p))
+    }
+
+    /// Number of parts.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Locality the partitioner expects on the statistics it was given
+    /// (the "Metis reports an expected locality of 75%" figure of
+    /// §4.3). Future data with unseen keys will achieve less.
+    #[must_use]
+    pub fn expected_locality(&self) -> f64 {
+        self.expected_locality
+    }
+
+    /// Imbalance (max part weight over average) on the statistics.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        self.imbalance
+    }
+
+    /// The raw partition over the internal vertex ids.
+    #[must_use]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MultilevelPartitioner;
+
+    /// The exact example of paper Fig. 4/5.
+    fn paper_example() -> KeyGraph<&'static str, &'static str> {
+        let mut kg = KeyGraph::new();
+        kg.add_pair("Asia", "#java", 3463);
+        kg.add_pair("Asia", "#ruby", 3011);
+        kg.add_pair("Asia", "#python", 969);
+        kg.add_pair("Oceania", "#java", 1201);
+        kg.add_pair("Oceania", "#ruby", 881);
+        kg.add_pair("Oceania", "#python", 3108);
+        kg
+    }
+
+    #[test]
+    fn reproduces_paper_figure_5_partition() {
+        // Fig. 5: Asia, #java, #ruby on one server; Oceania, #python on
+        // the other.
+        let kg = paper_example();
+        let a = kg.partition(&MultilevelPartitioner::default(), 2, 1.6, 42);
+        let asia = a.left("Asia").unwrap();
+        assert_eq!(a.right("#java"), Some(asia));
+        assert_eq!(a.right("#ruby"), Some(asia));
+        let oceania = a.left("Oceania").unwrap();
+        assert_ne!(asia, oceania);
+        assert_eq!(a.right("#python"), Some(oceania));
+    }
+
+    #[test]
+    fn vertex_weights_accumulate() {
+        let kg = paper_example();
+        let (graph, left, _right) = kg.into_graph();
+        let asia = left["Asia"];
+        assert_eq!(graph.vertex_weight(asia), 3463 + 3011 + 969);
+        assert_eq!(graph.total_edge_weight(), 3463 + 3011 + 969 + 1201 + 881 + 3108);
+    }
+
+    #[test]
+    fn zero_count_pairs_ignored() {
+        let mut kg: KeyGraph<u32, u32> = KeyGraph::new();
+        kg.add_pair(1, 2, 0);
+        assert_eq!(kg.left_len(), 0);
+        assert_eq!(kg.right_len(), 0);
+    }
+
+    #[test]
+    fn standalone_weights_balance() {
+        let mut kg: KeyGraph<&str, &str> = KeyGraph::new();
+        kg.add_pair("a", "x", 100);
+        kg.add_left_weight("b", 100);
+        kg.add_right_weight("y", 100);
+        let a = kg.partition(&MultilevelPartitioner::default(), 2, 1.1, 0);
+        // "a"+"x" are glued (200 weight); "b" and "y" (100 each) must
+        // go to the other part to balance.
+        let ax = a.left("a").unwrap();
+        assert_eq!(a.right("x"), Some(ax));
+        assert_eq!(a.left("b").unwrap(), a.right("y").unwrap());
+        assert_ne!(a.left("b").unwrap(), ax);
+    }
+
+    #[test]
+    fn unknown_keys_are_none() {
+        let kg = paper_example();
+        let a = kg.partition(&MultilevelPartitioner::default(), 2, 1.2, 0);
+        assert_eq!(a.left("Europe"), None);
+        assert_eq!(a.right("#scala"), None);
+    }
+}

@@ -1,0 +1,347 @@
+//! Weighted undirected graphs in compressed sparse row form.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a vertex in a [`Graph`].
+pub type VertexId = u32;
+
+/// An immutable, undirected, vertex- and edge-weighted graph stored in
+/// CSR (compressed sparse row) form.
+///
+/// Vertices carry a `u64` weight (key frequency in the routing use
+/// case) and edges a `u64` weight (pair co-occurrence count). Self
+/// loops are rejected at build time and parallel edges are merged by
+/// summing their weights.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_partition::Graph;
+///
+/// let mut builder = Graph::builder();
+/// let a = builder.add_vertex(3);
+/// let b = builder.add_vertex(5);
+/// builder.add_edge(a, b, 2);
+/// builder.add_edge(a, b, 4); // merged: weight 6
+/// let graph = builder.build();
+/// assert_eq!(graph.vertex_count(), 2);
+/// assert_eq!(graph.edge_count(), 1);
+/// assert_eq!(graph.total_edge_weight(), 6);
+/// assert_eq!(graph.neighbors(a).collect::<Vec<_>>(), vec![(b, 6)]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    vweights: Vec<u64>,
+    xadj: Vec<usize>,
+    adjncy: Vec<VertexId>,
+    adjwgt: Vec<u64>,
+    total_vweight: u64,
+    total_eweight: u64,
+    max_vweight: u64,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("vertices", &self.vertex_count())
+            .field("edges", &self.edge_count())
+            .field("total_vertex_weight", &self.total_vweight)
+            .field("total_edge_weight", &self.total_eweight)
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Starts building a graph.
+    #[must_use]
+    pub fn builder() -> GraphBuilder {
+        GraphBuilder::new()
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vweights.len()
+    }
+
+    /// Number of undirected edges (each counted once).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn vertex_weight(&self, v: VertexId) -> u64 {
+        self.vweights[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    #[must_use]
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.total_vweight
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    #[must_use]
+    pub fn total_edge_weight(&self) -> u64 {
+        self.total_eweight
+    }
+
+    /// Largest single vertex weight (0 for an empty graph).
+    #[must_use]
+    pub fn max_vertex_weight(&self) -> u64 {
+        self.max_vweight
+    }
+
+    /// Degree (number of distinct neighbors) of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    /// Iterates over `(neighbor, edge_weight)` pairs of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u64)> + '_ {
+        let v = v as usize;
+        let range = self.xadj[v]..self.xadj[v + 1];
+        self.adjncy[range.clone()]
+            .iter()
+            .zip(&self.adjwgt[range])
+            .map(|(&n, &w)| (n, w))
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vweights.len() as VertexId).map(|v| v as VertexId)
+    }
+
+    /// Iterates over each undirected edge once as `(u, v, weight)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId, u64)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, w)| (u, v, w))
+        })
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Parallel edges are merged by summing weights; self loops are
+/// ignored (a key is always co-located with itself).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    vweights: Vec<u64>,
+    edges: HashMap<(VertexId, VertexId), u64>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a vertex with `weight` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vertex count would exceed `u32::MAX`.
+    pub fn add_vertex(&mut self, weight: u64) -> VertexId {
+        let id = VertexId::try_from(self.vweights.len()).expect("too many vertices");
+        self.vweights.push(weight);
+        id
+    }
+
+    /// Adds `delta` to the weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has not been added.
+    pub fn add_vertex_weight(&mut self, v: VertexId, delta: u64) {
+        self.vweights[v as usize] += delta;
+    }
+
+    /// Number of vertices added so far.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vweights.len()
+    }
+
+    /// Adds an undirected edge between `u` and `v` with `weight`,
+    /// merging with any existing edge. Self loops are silently ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` has not been added.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, weight: u64) {
+        assert!((u as usize) < self.vweights.len(), "unknown vertex {u}");
+        assert!((v as usize) < self.vweights.len(), "unknown vertex {v}");
+        if u == v {
+            return;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        *self.edges.entry(key).or_default() += weight;
+    }
+
+    /// Finalizes into an immutable CSR [`Graph`].
+    #[must_use]
+    pub fn build(self) -> Graph {
+        let n = self.vweights.len();
+        let mut degree = vec![0usize; n];
+        for &(u, v) in self.edges.keys() {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for i in 0..n {
+            xadj[i + 1] = xadj[i] + degree[i];
+        }
+        let m = xadj[n];
+        let mut adjncy = vec![0 as VertexId; m];
+        let mut adjwgt = vec![0u64; m];
+        let mut cursor = xadj.clone();
+        // Deterministic adjacency order: insert edges sorted by endpoints.
+        let mut edges: Vec<((VertexId, VertexId), u64)> = self.edges.into_iter().collect();
+        edges.sort_unstable_by_key(|&(e, _)| e);
+        let mut total_eweight = 0u64;
+        for ((u, v), w) in edges {
+            adjncy[cursor[u as usize]] = v;
+            adjwgt[cursor[u as usize]] = w;
+            cursor[u as usize] += 1;
+            adjncy[cursor[v as usize]] = u;
+            adjwgt[cursor[v as usize]] = w;
+            cursor[v as usize] += 1;
+            total_eweight += w;
+        }
+        let total_vweight = self.vweights.iter().sum();
+        let max_vweight = self.vweights.iter().copied().max().unwrap_or(0);
+        Graph {
+            vweights: self.vweights,
+            xadj,
+            adjncy,
+            adjwgt,
+            total_vweight,
+            total_eweight,
+            max_vweight,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0-1, 1-2, 2-3, 3-0, 0-2
+        let mut b = Graph::builder();
+        for w in [1, 2, 3, 4] {
+            b.add_vertex(w);
+        }
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 20);
+        b.add_edge(2, 3, 30);
+        b.add_edge(3, 0, 40);
+        b.add_edge(0, 2, 50);
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_weights() {
+        let g = diamond();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.total_vertex_weight(), 10);
+        assert_eq!(g.total_edge_weight(), 150);
+        assert_eq!(g.max_vertex_weight(), 4);
+        assert_eq!(g.vertex_weight(2), 3);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let g = diamond();
+        for u in g.vertices() {
+            for (v, w) in g.neighbors(u) {
+                assert!(
+                    g.neighbors(v).any(|(x, wx)| x == u && wx == w),
+                    "edge {u}-{v} not symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 2);
+    }
+
+    #[test]
+    fn parallel_edges_merge() {
+        let mut b = Graph::builder();
+        let a = b.add_vertex(1);
+        let c = b.add_vertex(1);
+        b.add_edge(a, c, 3);
+        b.add_edge(c, a, 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(a).next(), Some((c, 7)));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = Graph::builder();
+        let a = b.add_vertex(1);
+        b.add_edge(a, a, 99);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(a), 0);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        let total: u64 = edges.iter().map(|&(_, _, w)| w).sum();
+        assert_eq!(total, g.total_edge_weight());
+        for &(u, v, _) in &edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::builder().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_vertex_weight(), 0);
+    }
+
+    #[test]
+    fn vertex_weight_accumulation() {
+        let mut b = Graph::builder();
+        let a = b.add_vertex(1);
+        b.add_vertex_weight(a, 4);
+        let g = b.build();
+        assert_eq!(g.vertex_weight(a), 5);
+    }
+}

@@ -1,0 +1,144 @@
+//! One-pass greedy (LDG-style) partitioning baseline.
+
+use crate::graph::{Graph, VertexId};
+use crate::partition::Partition;
+use crate::{weight_cap, Partitioner};
+
+/// Streaming greedy partitioner.
+///
+/// Vertices are visited in descending weight order (heaviest keys
+/// placed first, while every part still has room); each vertex goes to
+/// the part holding the largest edge weight to already-placed
+/// neighbors among the parts that still fit under the balance cap,
+/// breaking ties toward the lightest part. Linear in the graph size,
+/// used as the cheap comparison point in the partitioner ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GreedyPartitioner;
+
+impl GreedyPartitioner {
+    /// Creates the greedy partitioner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Partitioner for GreedyPartitioner {
+    fn partition(&self, graph: &Graph, k: usize, alpha: f64, _seed: u64) -> Partition {
+        crate::validate_args(k, alpha);
+        let n = graph.vertex_count();
+        let cap = weight_cap(graph, k, alpha);
+        let mut order: Vec<VertexId> = graph.vertices().collect();
+        order.sort_by_key(|&v| std::cmp::Reverse((graph.vertex_weight(v), std::cmp::Reverse(v))));
+
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut parts = vec![UNASSIGNED; n];
+        let mut loads = vec![0u64; k];
+        let mut conn = vec![0u64; k];
+        for v in order {
+            for c in conn.iter_mut() {
+                *c = 0;
+            }
+            for (u, w) in graph.neighbors(v) {
+                let p = parts[u as usize];
+                if p != UNASSIGNED {
+                    conn[p as usize] += w;
+                }
+            }
+            let wv = graph.vertex_weight(v);
+            let mut best: Option<usize> = None;
+            for p in 0..k {
+                if loads[p] + wv > cap {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        conn[p] > conn[b] || (conn[p] == conn[b] && loads[p] < loads[b])
+                    }
+                };
+                if better {
+                    best = Some(p);
+                }
+            }
+            // Cap infeasible for every part: fall back to lightest part.
+            let p = best.unwrap_or_else(|| {
+                (0..k)
+                    .min_by_key(|&p| (loads[p], p))
+                    .expect("k > 0")
+            });
+            parts[v as usize] = p as u32;
+            loads[p] += wv;
+        }
+        Partition::from_parts(parts, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two weight-10 cliques joined by one weak edge.
+    fn two_clusters() -> Graph {
+        let mut b = Graph::builder();
+        for _ in 0..8 {
+            b.add_vertex(10);
+        }
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b.add_edge(u, v, 100);
+            }
+        }
+        for u in 4..8u32 {
+            for v in (u + 1)..8 {
+                b.add_edge(u, v, 100);
+            }
+        }
+        b.add_edge(0, 4, 1);
+        b.build()
+    }
+
+    #[test]
+    fn separates_clusters() {
+        let g = two_clusters();
+        let p = GreedyPartitioner.partition(&g, 2, 1.05, 0);
+        assert_eq!(p.edge_cut(&g), 1);
+        assert!((p.imbalance(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        // One heavy vertex and many light ones; heavy goes alone.
+        let mut b = Graph::builder();
+        let heavy = b.add_vertex(100);
+        let mut light = Vec::new();
+        for _ in 0..10 {
+            light.push(b.add_vertex(10));
+        }
+        // All light vertices correlated with the heavy one.
+        for &l in &light {
+            b.add_edge(heavy, l, 50);
+        }
+        let g = b.build();
+        let p = GreedyPartitioner.partition(&g, 2, 1.1, 0);
+        let weights = p.part_weights(&g);
+        let max = *weights.iter().max().unwrap();
+        // cap = max(1.1 * 100, 100) = 110
+        assert!(max <= 110, "part weight {max} exceeds cap");
+    }
+
+    #[test]
+    fn assigns_every_vertex() {
+        let g = two_clusters();
+        let p = GreedyPartitioner.partition(&g, 3, 1.2, 0);
+        assert_eq!(p.len(), g.vertex_count());
+    }
+
+    #[test]
+    fn single_part_takes_all() {
+        let g = two_clusters();
+        let p = GreedyPartitioner.partition(&g, 1, 1.0, 0);
+        assert_eq!(p.edge_cut(&g), 0);
+        assert!(p.as_slice().iter().all(|&x| x == 0));
+    }
+}

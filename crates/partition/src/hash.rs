@@ -1,0 +1,100 @@
+//! Hash-based assignment, the fields-grouping default.
+
+use crate::graph::Graph;
+use crate::partition::Partition;
+use crate::Partitioner;
+
+/// Assigns each vertex to `hash(vertex) % k`, ignoring edges and
+/// weights entirely.
+///
+/// This reproduces the default fields-grouping implementation of
+/// Storm-like engines (paper §2.2): a random but deterministic
+/// mapping, used as the baseline in every experiment. The expected
+/// locality of this scheme is `1/k`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashPartitioner;
+
+impl HashPartitioner {
+    /// Creates the hash partitioner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// The 64-bit finalizer of SplitMix64; a high-quality deterministic
+/// integer hash shared with the engine's hash routing.
+#[must_use]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Partitioner for HashPartitioner {
+    fn partition(&self, graph: &Graph, k: usize, alpha: f64, seed: u64) -> Partition {
+        crate::validate_args(k, alpha);
+        let parts = graph
+            .vertices()
+            .map(|v| (splitmix64(u64::from(v) ^ seed) % k as u64) as u32)
+            .collect();
+        Partition::from_parts(parts, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize) -> Graph {
+        let mut b = Graph::builder();
+        for _ in 0..n {
+            b.add_vertex(1);
+        }
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v, 1);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = clique(50);
+        let a = HashPartitioner.partition(&g, 4, 1.0, 7);
+        let b = HashPartitioner.partition(&g, 4, 1.0, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = clique(50);
+        let a = HashPartitioner.partition(&g, 4, 1.0, 7);
+        let b = HashPartitioner.partition(&g, 4, 1.0, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let g = clique(4000);
+        let p = HashPartitioner.partition(&g, 4, 1.0, 1);
+        let weights = p.part_weights(&g);
+        for &w in &weights {
+            assert!((800..=1200).contains(&w), "part weight {w} far from 1000");
+        }
+    }
+
+    #[test]
+    fn expected_locality_is_one_over_k() {
+        // On a large clique the hash cut should keep ~1/k of edges local.
+        let g = clique(200);
+        let p = HashPartitioner.partition(&g, 5, 1.0, 3);
+        let locality = p.locality(&g);
+        assert!(
+            (locality - 0.2).abs() < 0.05,
+            "locality {locality} not near 1/k"
+        );
+    }
+}

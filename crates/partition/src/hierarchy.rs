@@ -1,0 +1,361 @@
+//! Rack-aware partitioning for hierarchical clusters.
+
+use crate::graph::Graph;
+use crate::multilevel::MultilevelPartitioner;
+use crate::partition::Partition;
+use crate::Partitioner;
+
+/// Rack-aware partitioner — the paper's §6 future-work extension
+/// ("distances between servers can be taken into account to leverage
+/// rack locality when load balancing prevents server locality").
+///
+/// The key graph is first partitioned into `k = racks ×
+/// servers_per_rack` parts exactly as the flat partitioner would —
+/// so per-server locality and balance are untouched — and the parts
+/// are then *grouped into racks* by minimizing the cross-rack cut of
+/// the quotient graph (exactly, by enumeration, for practical rack
+/// counts). Keys that cannot share a server because of the balance
+/// bound therefore still share a rack whenever the correlation
+/// structure allows.
+///
+/// Part ids `r * servers_per_rack ..` belong to rack `r`, matching
+/// the engine's contiguous rack assignment.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_partition::{Graph, HierarchicalPartitioner, Partitioner};
+///
+/// let mut builder = Graph::builder();
+/// for _ in 0..8 {
+///     builder.add_vertex(1);
+/// }
+/// // Two heavy 4-cliques — one per rack of 2 servers.
+/// for base in [0u32, 4] {
+///     for i in 0..4 {
+///         for j in (i + 1)..4 {
+///             builder.add_edge(base + i, base + j, 100);
+///         }
+///     }
+/// }
+/// builder.add_edge(0, 4, 1);
+/// let graph = builder.build();
+///
+/// let partitioner = HierarchicalPartitioner::new(2, 2);
+/// let partition = partitioner.partition(&graph, 4, 1.3, 7);
+/// // Each clique stays within one rack (servers {0,1} or {2,3}).
+/// let rack = |v: u32| partition.part(v) / 2;
+/// assert_eq!(rack(0), rack(3));
+/// assert_eq!(rack(4), rack(7));
+/// assert_ne!(rack(0), rack(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierarchicalPartitioner {
+    racks: usize,
+    servers_per_rack: usize,
+    inner: MultilevelPartitioner,
+}
+
+impl HierarchicalPartitioner {
+    /// Creates a partitioner for `racks` racks of `servers_per_rack`
+    /// servers each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(racks: usize, servers_per_rack: usize) -> Self {
+        assert!(racks > 0, "at least one rack");
+        assert!(servers_per_rack > 0, "at least one server per rack");
+        Self {
+            racks,
+            servers_per_rack,
+            inner: MultilevelPartitioner::default(),
+        }
+    }
+
+    /// Total number of servers (= parts produced).
+    #[must_use]
+    pub fn servers(&self) -> usize {
+        self.racks * self.servers_per_rack
+    }
+}
+
+impl Partitioner for HierarchicalPartitioner {
+    /// Partitions into exactly `self.servers()` parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` differs from `racks * servers_per_rack`.
+    fn partition(&self, graph: &Graph, k: usize, alpha: f64, seed: u64) -> Partition {
+        crate::validate_args(k, alpha);
+        assert_eq!(k, self.servers(), "k must equal racks * servers_per_rack");
+        let flat = self.inner.partition(graph, k, alpha, seed);
+        if self.racks == 1 || graph.vertex_count() == 0 {
+            return flat;
+        }
+
+        // Quotient cut matrix between flat parts.
+        let mut cut = vec![vec![0u64; k]; k];
+        for (u, v, w) in graph.edges() {
+            let (pu, pv) = (flat.part(u) as usize, flat.part(v) as usize);
+            if pu != pv {
+                cut[pu][pv] += w;
+                cut[pv][pu] += w;
+            }
+        }
+
+        let rack_of_part = best_grouping(k, self.racks, self.servers_per_rack, &cut);
+
+        // Relabel so rack r owns part ids [r*per, (r+1)*per).
+        let per = self.servers_per_rack;
+        let mut relabel = vec![0u32; k];
+        let mut next_slot = vec![0usize; self.racks];
+        for part in 0..k {
+            let rack = rack_of_part[part];
+            relabel[part] = (rack * per + next_slot[rack]) as u32;
+            next_slot[rack] += 1;
+        }
+        let parts = flat
+            .as_slice()
+            .iter()
+            .map(|&p| relabel[p as usize])
+            .collect();
+        Partition::from_parts(parts, k)
+    }
+}
+
+/// Assigns `k` parts to `racks` racks of exactly `per` parts each,
+/// minimizing the summed cut weight between parts in different racks.
+/// Exact enumeration while the search space is small (k ≤ 12 covers
+/// every realistic rack layout here), greedy otherwise.
+fn best_grouping(k: usize, racks: usize, per: usize, cut: &[Vec<u64>]) -> Vec<usize> {
+    debug_assert_eq!(k, racks * per);
+    if k <= 12 {
+        let mut assignment = vec![usize::MAX; k];
+        let mut capacity = vec![per; racks];
+        let mut best: Option<(u64, Vec<usize>)> = None;
+        enumerate(0, k, racks, cut, &mut assignment, &mut capacity, 0, &mut best);
+        best.expect("at least one grouping exists").1
+    } else {
+        // Greedy: seed each rack with the heaviest unassigned part,
+        // then repeatedly add the part with the strongest connection
+        // to a rack that still has room.
+        let mut assignment = vec![usize::MAX; k];
+        let mut capacity = vec![per; racks];
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_by_key(|&p| std::cmp::Reverse(cut[p].iter().sum::<u64>()));
+        for &part in &order {
+            let mut best_rack = 0;
+            let mut best_score = -1i128;
+            for (rack, &room) in capacity.iter().enumerate() {
+                if room == 0 {
+                    continue;
+                }
+                let score: u64 = (0..k)
+                    .filter(|&q| assignment[q] == rack)
+                    .map(|q| cut[part][q])
+                    .sum();
+                if i128::from(score) > best_score {
+                    best_score = i128::from(score);
+                    best_rack = rack;
+                }
+            }
+            assignment[part] = best_rack;
+            capacity[best_rack] -= 1;
+        }
+        assignment
+    }
+}
+
+/// Exhaustive search over balanced groupings. `racks` are
+/// interchangeable; forcing part 0 into rack 0 etc. is handled by the
+/// capacity pruning plus the canonical first-fit rack order.
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    part: usize,
+    k: usize,
+    racks: usize,
+    cut: &[Vec<u64>],
+    assignment: &mut Vec<usize>,
+    capacity: &mut Vec<usize>,
+    cost_so_far: u64,
+    best: &mut Option<(u64, Vec<usize>)>,
+) {
+    if let Some((best_cost, _)) = best {
+        if cost_so_far >= *best_cost {
+            return; // branch and bound
+        }
+    }
+    if part == k {
+        *best = Some((cost_so_far, assignment.clone()));
+        return;
+    }
+    let mut seen_empty_rack = false;
+    for rack in 0..racks {
+        if capacity[rack] == 0 {
+            continue;
+        }
+        // Symmetry breaking: all still-empty racks are equivalent.
+        let is_empty = capacity[rack] == k / racks && assignment[..part].iter().all(|&a| a != rack);
+        if is_empty {
+            if seen_empty_rack {
+                continue;
+            }
+            seen_empty_rack = true;
+        }
+        let added: u64 = (0..part)
+            .filter(|&q| assignment[q] != rack && assignment[q] != usize::MAX)
+            .map(|q| cut[part][q])
+            .sum();
+        assignment[part] = rack;
+        capacity[rack] -= 1;
+        enumerate(
+            part + 1,
+            k,
+            racks,
+            cut,
+            assignment,
+            capacity,
+            cost_so_far + added,
+            best,
+        );
+        capacity[rack] += 1;
+        assignment[part] = usize::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `groups` cliques of `size` vertices, weak chain between them.
+    fn clustered(groups: usize, size: usize) -> Graph {
+        let mut b = Graph::builder();
+        for _ in 0..groups * size {
+            b.add_vertex(1);
+        }
+        for g in 0..groups {
+            let base = (g * size) as u32;
+            for i in 0..size as u32 {
+                for j in (i + 1)..size as u32 {
+                    b.add_edge(base + i, base + j, 100);
+                }
+            }
+            if g + 1 < groups {
+                b.add_edge(base, base + size as u32, 1);
+            }
+        }
+        b.build()
+    }
+
+    /// Big hub clusters that exceed the per-server cap, so they must
+    /// split across servers: the case rack-awareness exists for.
+    fn oversized_hubs(hubs: usize, spokes: usize) -> Graph {
+        let mut b = Graph::builder();
+        let mut hub_ids = Vec::new();
+        for _ in 0..hubs {
+            hub_ids.push(b.add_vertex(10));
+        }
+        for (h, &hub) in hub_ids.iter().enumerate() {
+            for s in 0..spokes as u32 {
+                let spoke = b.add_vertex(10);
+                b.add_edge(hub, spoke, 100 + u64::from(s % 7));
+                let _ = h;
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn server_partition_matches_flat_quality() {
+        let g = clustered(6, 8);
+        let flat = MultilevelPartitioner::default().partition(&g, 6, 1.1, 9);
+        let hier = HierarchicalPartitioner::new(2, 3).partition(&g, 6, 1.1, 9);
+        assert_eq!(
+            hier.edge_cut(&g),
+            flat.edge_cut(&g),
+            "grouping must not change the server-level cut"
+        );
+    }
+
+    #[test]
+    fn rack_grouping_beats_arbitrary_grouping() {
+        let g = oversized_hubs(4, 20);
+        let hier = HierarchicalPartitioner::new(2, 3).partition(&g, 6, 1.05, 5);
+        let flat = MultilevelPartitioner::default().partition(&g, 6, 1.05, 5);
+        let rack_cut = |p: &Partition| -> u64 {
+            g.edges()
+                .filter(|&(u, v, _)| p.part(u) / 3 != p.part(v) / 3)
+                .map(|(_, _, w)| w)
+                .sum()
+        };
+        assert!(
+            rack_cut(&hier) <= rack_cut(&flat),
+            "optimized grouping {} must not exceed arbitrary grouping {}",
+            rack_cut(&hier),
+            rack_cut(&flat)
+        );
+        // Server-level cut identical by construction.
+        assert_eq!(hier.edge_cut(&g), flat.edge_cut(&g));
+    }
+
+    #[test]
+    fn clusters_share_racks() {
+        // 4 clusters on 2 racks × 2 servers: each cluster on one
+        // server, clusters paired into racks along the weak chain.
+        let g = clustered(4, 6);
+        let p = HierarchicalPartitioner::new(2, 2).partition(&g, 4, 1.1, 3);
+        for cluster in 0..4u32 {
+            let base = cluster * 6;
+            let server = p.part(base);
+            for v in base..base + 6 {
+                assert_eq!(p.part(v), server, "cluster {cluster} split");
+            }
+        }
+        assert_eq!(p.edge_cut(&g), 3, "only the weak chain edges cut");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = clustered(4, 5);
+        let h = HierarchicalPartitioner::new(2, 2);
+        assert_eq!(h.partition(&g, 4, 1.2, 5), h.partition(&g, 4, 1.2, 5));
+    }
+
+    #[test]
+    fn balances_across_all_servers() {
+        let g = clustered(8, 4);
+        let h = HierarchicalPartitioner::new(2, 2);
+        let p = h.partition(&g, 4, 1.1, 1);
+        let weights = p.part_weights(&g);
+        assert_eq!(weights.len(), 4);
+        let max = *weights.iter().max().unwrap();
+        let min = *weights.iter().min().unwrap();
+        assert!(max <= min * 2, "unbalanced: {weights:?}");
+    }
+
+    #[test]
+    fn greedy_grouping_used_for_many_parts() {
+        // 16 parts on 4 racks exceeds the enumeration bound; the
+        // greedy path must still produce a valid balanced grouping.
+        let g = clustered(16, 3);
+        let h = HierarchicalPartitioner::new(4, 4);
+        let p = h.partition(&g, 16, 1.2, 2);
+        assert_eq!(p.len(), g.vertex_count());
+        let mut per_rack = [0u32; 4];
+        for part in 0..16u32 {
+            let members = p.as_slice().iter().filter(|&&x| x == part).count();
+            if members > 0 {
+                per_rack[(part / 4) as usize] += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must equal")]
+    fn wrong_k_panics() {
+        let g = clustered(2, 3);
+        let _ = HierarchicalPartitioner::new(2, 2).partition(&g, 3, 1.1, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Partition assignments and their quality metrics.
+
+use crate::graph::{Graph, VertexId};
+
+/// An assignment of every vertex of a graph to one of `k` parts.
+///
+/// Produced by a [`Partitioner`](crate::Partitioner); in the routing
+/// use case a part corresponds to a server, so the quality metrics map
+/// directly to the paper's evaluation: [`edge_cut`] is remote traffic,
+/// [`locality`] the fraction of co-occurrences kept on one server, and
+/// [`imbalance`] the load-balance factor of Fig. 11b.
+///
+/// [`edge_cut`]: Partition::edge_cut
+/// [`locality`]: Partition::locality
+/// [`imbalance`]: Partition::imbalance
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    parts: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Wraps an explicit assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or any part id is `>= k`.
+    #[must_use]
+    pub fn from_parts(parts: Vec<u32>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(
+            parts.iter().all(|&p| (p as usize) < k),
+            "part id out of range"
+        );
+        Self { parts, k }
+    }
+
+    /// Number of parts.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of assigned vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Returns `true` when no vertex is assigned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Part of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[must_use]
+    pub fn part(&self, v: VertexId) -> u32 {
+        self.parts[v as usize]
+    }
+
+    /// The raw assignment slice, indexed by vertex id.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// Sum of the weights of edges whose endpoints lie in different
+    /// parts — the objective minimized by the paper's manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different vertex count.
+    #[must_use]
+    pub fn edge_cut(&self, graph: &Graph) -> u64 {
+        assert_eq!(graph.vertex_count(), self.parts.len());
+        graph
+            .edges()
+            .filter(|&(u, v, _)| self.parts[u as usize] != self.parts[v as usize])
+            .map(|(_, _, w)| w)
+            .sum()
+    }
+
+    /// Fraction of total edge weight kept inside parts, in `[0, 1]`
+    /// (1.0 when the graph has no edges). This is the "locality" the
+    /// paper reports for a routing configuration, evaluated on the
+    /// statistics graph itself (e.g. the 75% Metis-reported locality
+    /// of §4.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different vertex count.
+    #[must_use]
+    pub fn locality(&self, graph: &Graph) -> f64 {
+        let total = graph.total_edge_weight();
+        if total == 0 {
+            return 1.0;
+        }
+        1.0 - self.edge_cut(graph) as f64 / total as f64
+    }
+
+    /// Vertex weight per part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different vertex count.
+    #[must_use]
+    pub fn part_weights(&self, graph: &Graph) -> Vec<u64> {
+        assert_eq!(graph.vertex_count(), self.parts.len());
+        let mut weights = vec![0u64; self.k];
+        for v in graph.vertices() {
+            weights[self.parts[v as usize] as usize] += graph.vertex_weight(v);
+        }
+        weights
+    }
+
+    /// Load-balance factor: heaviest part weight divided by the average
+    /// part weight (1.0 = perfectly balanced; the paper's α bound says
+    /// this should stay ≤ α on the training data).
+    ///
+    /// Returns 1.0 for a graph with zero total weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` has a different vertex count.
+    #[must_use]
+    pub fn imbalance(&self, graph: &Graph) -> f64 {
+        let weights = self.part_weights(graph);
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.k as f64;
+        let max = *weights.iter().max().expect("k > 0") as f64;
+        max / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        let mut b = Graph::builder();
+        for _ in 0..4 {
+            b.add_vertex(5);
+        }
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 10);
+        b.build()
+    }
+
+    #[test]
+    fn cut_and_locality() {
+        let g = path4();
+        let p = Partition::from_parts(vec![0, 0, 1, 1], 2);
+        assert_eq!(p.edge_cut(&g), 1);
+        let expected = 1.0 - 1.0 / 21.0;
+        assert!((p.locality(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_cut() {
+        let g = path4();
+        let p = Partition::from_parts(vec![0, 1, 0, 1], 2);
+        assert_eq!(p.edge_cut(&g), 21);
+        assert_eq!(p.locality(&g), 0.0);
+    }
+
+    #[test]
+    fn balance_metrics() {
+        let g = path4();
+        let balanced = Partition::from_parts(vec![0, 0, 1, 1], 2);
+        assert_eq!(balanced.part_weights(&g), vec![10, 10]);
+        assert!((balanced.imbalance(&g) - 1.0).abs() < 1e-12);
+
+        let skewed = Partition::from_parts(vec![0, 0, 0, 1], 2);
+        assert_eq!(skewed.part_weights(&g), vec![15, 5]);
+        assert!((skewed.imbalance(&g) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_locality_is_one() {
+        let g = Graph::builder().build();
+        let p = Partition::from_parts(vec![], 3);
+        assert_eq!(p.locality(&g), 1.0);
+        assert_eq!(p.imbalance(&g), 1.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "part id out of range")]
+    fn rejects_out_of_range_part() {
+        let _ = Partition::from_parts(vec![0, 2], 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the partitioners: structural soundness,
+//! balance-cap respect, quality vs the hash baseline, determinism.
+
+use proptest::prelude::*;
+use streamloc_partition::{
+    Graph, GreedyPartitioner, HashPartitioner, MultilevelPartitioner, Partitioner,
+};
+
+#[derive(Debug, Clone)]
+pub struct RandomGraph {
+    pub vertex_weights: Vec<u64>,
+    pub edges: Vec<(u32, u32, u64)>,
+}
+
+pub fn random_graph() -> impl Strategy<Value = RandomGraph> {
+    (2usize..120).prop_flat_map(|n| {
+        let weights = prop::collection::vec(1u64..50, n);
+        let edges = prop::collection::vec(
+            (0..n as u32, 0..n as u32, 1u64..100),
+            0..(n * 3).min(400),
+        );
+        (weights, edges).prop_map(|(vertex_weights, edges)| RandomGraph {
+            vertex_weights,
+            edges,
+        })
+    })
+}
+
+pub fn build(rg: &RandomGraph) -> Graph {
+    let mut b = Graph::builder();
+    for &w in &rg.vertex_weights {
+        b.add_vertex(w);
+    }
+    for &(u, v, w) in &rg.edges {
+        b.add_edge(u, v, w);
+    }
+    b.build()
+}
+
+/// The feasible per-part cap used by every partitioner.
+fn cap(graph: &Graph, k: usize, alpha: f64) -> u64 {
+    let avg = (graph.total_vertex_weight() as f64 / k as f64).ceil();
+    ((alpha * avg).ceil() as u64).max(graph.max_vertex_weight())
+}
+
+proptest! {
+    #[test]
+    fn multilevel_is_sound(rg in random_graph(), k in 1usize..8, seed in any::<u64>()) {
+        let graph = build(&rg);
+        let p = MultilevelPartitioner::default().partition(&graph, k, 1.1, seed);
+        prop_assert_eq!(p.len(), graph.vertex_count());
+        prop_assert_eq!(p.k(), k);
+        let weights = p.part_weights(&graph);
+        prop_assert_eq!(weights.iter().sum::<u64>(), graph.total_vertex_weight());
+        let locality = p.locality(&graph);
+        prop_assert!((0.0..=1.0).contains(&locality));
+        // cut + kept == total edge weight
+        let kept = (p.locality(&graph) * graph.total_edge_weight() as f64).round() as i64;
+        let cut = p.edge_cut(&graph) as i64;
+        prop_assert!((kept + cut - graph.total_edge_weight() as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn multilevel_overflow_is_bounded(rg in random_graph(), k in 2usize..6, seed in any::<u64>()) {
+        // The cap is a soft constraint (bin packing can make it
+        // infeasible, as with Metis); the provable bound is one
+        // placement overshoot above the cap: the initial greedy pass
+        // places into a part of weight ≤ avg ≤ cap and coarse
+        // vertices never exceed the cap (matching refuses heavier
+        // pairs), so parts stay ≤ 2·cap.
+        let graph = build(&rg);
+        let alpha = 1.1;
+        let p = MultilevelPartitioner::default().partition(&graph, k, alpha, seed);
+        let max = p.part_weights(&graph).into_iter().max().unwrap_or(0);
+        prop_assert!(
+            max <= 2 * cap(&graph, k, alpha),
+            "part weight {} exceeds 2×cap {}", max, 2 * cap(&graph, k, alpha)
+        );
+    }
+
+    #[test]
+    fn greedy_overflow_is_bounded(rg in random_graph(), k in 2usize..6) {
+        // Greedy's fallback places into the lightest part (≤ avg ≤
+        // cap), so overflow is at most one vertex weight.
+        let graph = build(&rg);
+        let alpha = 1.2;
+        let p = GreedyPartitioner.partition(&graph, k, alpha, 0);
+        let max = p.part_weights(&graph).into_iter().max().unwrap_or(0);
+        let bound = cap(&graph, k, alpha) + graph.max_vertex_weight();
+        prop_assert!(max <= bound, "part weight {} exceeds {}", max, bound);
+    }
+
+    #[test]
+    fn multilevel_no_worse_than_feasible_hash(
+        rg in random_graph(), k in 2usize..6, seed in any::<u64>(),
+    ) {
+        // Hash ignores both edges and balance; it is only a fair
+        // comparator when its own partition happens to respect the
+        // balance cap (otherwise it can "win" by piling correlated
+        // heavy vertices on one overloaded part, which the
+        // balance-constrained partitioners are forbidden to do).
+        let graph = build(&rg);
+        let alpha = 1.2;
+        let ml = MultilevelPartitioner::default().partition(&graph, k, alpha, seed);
+        let hash = HashPartitioner.partition(&graph, k, alpha, seed);
+        let hash_feasible = hash
+            .part_weights(&graph)
+            .into_iter()
+            .all(|w| w <= cap(&graph, k, alpha));
+        prop_assume!(hash_feasible);
+        let slack = graph.total_edge_weight() / 10 + 200;
+        prop_assert!(
+            ml.edge_cut(&graph) <= hash.edge_cut(&graph) + slack,
+            "multilevel cut {} vs hash cut {}",
+            ml.edge_cut(&graph), hash.edge_cut(&graph)
+        );
+    }
+
+    #[test]
+    fn partitioners_are_deterministic(rg in random_graph(), k in 1usize..6, seed in any::<u64>()) {
+        let graph = build(&rg);
+        let ml = MultilevelPartitioner::default();
+        prop_assert_eq!(
+            ml.partition(&graph, k, 1.1, seed),
+            ml.partition(&graph, k, 1.1, seed)
+        );
+        prop_assert_eq!(
+            GreedyPartitioner.partition(&graph, k, 1.1, seed),
+            GreedyPartitioner.partition(&graph, k, 1.1, seed)
+        );
+        prop_assert_eq!(
+            HashPartitioner.partition(&graph, k, 1.1, seed),
+            HashPartitioner.partition(&graph, k, 1.1, seed)
+        );
+    }
+
+    #[test]
+    fn single_part_has_zero_cut(rg in random_graph(), seed in any::<u64>()) {
+        let graph = build(&rg);
+        let p = MultilevelPartitioner::default().partition(&graph, 1, 1.0, seed);
+        prop_assert_eq!(p.edge_cut(&graph), 0);
+        prop_assert!((p.imbalance(&graph) - 1.0).abs() < 1e-9);
+    }
+}
+
+mod hierarchy_props {
+    use super::{build, random_graph};
+    use proptest::prelude::*;
+    use streamloc_partition::{HierarchicalPartitioner, MultilevelPartitioner, Partitioner};
+
+    proptest! {
+        #[test]
+        fn hierarchical_preserves_server_cut(
+            rg in random_graph(), seed in any::<u64>(),
+        ) {
+            // By construction the hierarchical partitioner only
+            // relabels the flat partition's parts, so the server-level
+            // cut must be identical.
+            let graph = build(&rg);
+            let flat = MultilevelPartitioner::default().partition(&graph, 6, 1.2, seed);
+            let hier = HierarchicalPartitioner::new(2, 3).partition(&graph, 6, 1.2, seed);
+            prop_assert_eq!(hier.edge_cut(&graph), flat.edge_cut(&graph));
+            // And the part *contents* are a permutation: same sorted
+            // part weights.
+            let mut a = flat.part_weights(&graph);
+            let mut b = hier.part_weights(&graph);
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn hierarchical_rack_cut_not_worse_than_contiguous(
+            rg in random_graph(), seed in any::<u64>(),
+        ) {
+            let graph = build(&rg);
+            let flat = MultilevelPartitioner::default().partition(&graph, 6, 1.2, seed);
+            let hier = HierarchicalPartitioner::new(2, 3).partition(&graph, 6, 1.2, seed);
+            let rack_cut = |p: &streamloc_partition::Partition| -> u64 {
+                graph
+                    .edges()
+                    .filter(|&(u, v, _)| p.part(u) / 3 != p.part(v) / 3)
+                    .map(|(_, _, w)| w)
+                    .sum()
+            };
+            prop_assert!(
+                rack_cut(&hier) <= rack_cut(&flat),
+                "optimized grouping {} worse than contiguous {}",
+                rack_cut(&hier), rack_cut(&flat)
+            );
+        }
+    }
+}

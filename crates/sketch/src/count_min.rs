@@ -1,0 +1,228 @@
+//! Count-Min sketch (Cormode & Muthukrishnan 2005) — the alternative
+//! bounded-memory counter to SpaceSaving.
+
+use std::hash::Hash;
+
+use crate::space_saving::hash_of;
+
+/// A Count-Min sketch: a `depth × width` grid of counters; each item
+/// increments one counter per row, and a point query returns the
+/// minimum over its row counters — an overestimate whose error is
+/// bounded by `total / width` per row with high probability.
+///
+/// Why the paper (and this reproduction's manager) prefer SpaceSaving:
+/// Count-Min answers *point queries* but cannot *enumerate* the
+/// frequent pairs, which is exactly what routing-table generation
+/// needs. Count-Min is provided for the statistics-backend ablation
+/// and for applications that track externally-known candidate keys.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_sketch::CountMin;
+///
+/// let mut cm = CountMin::new(4, 256);
+/// for _ in 0..10 {
+///     cm.offer(&"hot");
+/// }
+/// cm.offer(&"cold");
+/// assert!(cm.estimate(&"hot") >= 10);
+/// assert!(cm.estimate(&"never") <= cm.total() / 256 * 4 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    rows: Vec<u64>,
+    total: u64,
+}
+
+impl CountMin {
+    /// Creates a sketch with `depth` rows of `width` counters
+    /// (`depth * width * 8` bytes of memory).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` or `width` is zero.
+    #[must_use]
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "depth must be positive");
+        assert!(width > 0, "width must be positive");
+        Self {
+            depth,
+            width,
+            rows: vec![0; depth * width],
+            total: 0,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Counters per row.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Memory footprint of the counter grid, in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * 8
+    }
+
+    /// Total weight offered.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observes one occurrence of `key`.
+    pub fn offer<K: Hash + ?Sized>(&mut self, key: &K) {
+        self.offer_weighted(key, 1);
+    }
+
+    /// Observes `weight` occurrences of `key`, with the *conservative
+    /// update* optimization: only counters at the current minimum are
+    /// raised, tightening the overestimate at no accuracy cost.
+    pub fn offer_weighted<K: Hash + ?Sized>(&mut self, key: &K, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        self.total += weight;
+        let base = hash_of(key);
+        let target = self.estimate_from(base) + weight;
+        for row in 0..self.depth {
+            let idx = self.cell(base, row);
+            if self.rows[idx] < target {
+                self.rows[idx] = target;
+            }
+        }
+    }
+
+    /// Upper-bound estimate of `key`'s count.
+    #[must_use]
+    pub fn estimate<K: Hash + ?Sized>(&self, key: &K) -> u64 {
+        self.estimate_from(hash_of(key))
+    }
+
+    /// Removes all observations.
+    pub fn clear(&mut self) {
+        self.rows.fill(0);
+        self.total = 0;
+    }
+
+    /// Merges another sketch of identical dimensions into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.depth, other.depth, "depth mismatch");
+        assert_eq!(self.width, other.width, "width mismatch");
+        for (a, &b) in self.rows.iter_mut().zip(&other.rows) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    fn estimate_from(&self, base: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.rows[self.cell(base, row)])
+            .min()
+            .expect("depth > 0")
+    }
+
+    fn cell(&self, base: u64, row: usize) -> usize {
+        // Row-salted double hashing over the shared base hash.
+        let h = base
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(row as u32 * 7)
+            .wrapping_add(row as u64);
+        row * self.width + (h % self.width as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMin::new(4, 64);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..5000u64 {
+            let key = i % 97;
+            cm.offer(&key);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        for (key, &count) in &truth {
+            assert!(cm.estimate(key) >= count, "underestimated {key}");
+        }
+    }
+
+    #[test]
+    fn error_is_bounded() {
+        let mut cm = CountMin::new(4, 512);
+        for i in 0..20_000u64 {
+            cm.offer(&(i % 1000));
+        }
+        // Each key's true count is 20; the overestimate should stay
+        // within a few times total/width = ~40.
+        let mut worst = 0u64;
+        for key in 0..1000u64 {
+            worst = worst.max(cm.estimate(&key) - 20);
+        }
+        assert!(worst <= 200, "worst error {worst} too large");
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut cm = CountMin::new(4, 4096);
+        for i in 0..10u64 {
+            cm.offer_weighted(&i, i + 1);
+        }
+        for i in 0..10u64 {
+            assert_eq!(cm.estimate(&i), i + 1);
+        }
+        assert_eq!(cm.total(), 55);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = CountMin::new(3, 128);
+        let mut b = CountMin::new(3, 128);
+        a.offer_weighted(&"x", 5);
+        b.offer_weighted(&"x", 7);
+        a.merge(&b);
+        assert!(a.estimate(&"x") >= 12);
+        assert_eq!(a.total(), 12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cm = CountMin::new(2, 32);
+        cm.offer(&1);
+        cm.clear();
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.estimate(&1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_rejects_mismatch() {
+        let mut a = CountMin::new(2, 32);
+        let b = CountMin::new(2, 64);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn zero_weight_noop() {
+        let mut cm = CountMin::new(2, 32);
+        cm.offer_weighted(&9, 0);
+        assert_eq!(cm.total(), 0);
+    }
+}

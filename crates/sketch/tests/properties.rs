@@ -1,0 +1,189 @@
+//! Property-based tests checking the SpaceSaving guarantees against an
+//! exact oracle (Metwally et al. 2005, Theorems 2-4).
+
+use proptest::prelude::*;
+use streamloc_sketch::{ExactCounter, SpaceSaving};
+
+/// A random stream over a small key domain so collisions are frequent.
+fn stream() -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..64, 0..2000)
+}
+
+/// A random weighted stream.
+fn weighted_stream() -> impl Strategy<Value = Vec<(u16, u64)>> {
+    prop::collection::vec((0u16..32, 1u64..50), 0..500)
+}
+
+proptest! {
+    #[test]
+    fn count_bounds_hold(stream in stream(), capacity in 1usize..32) {
+        let mut sketch = SpaceSaving::new(capacity);
+        let mut oracle = ExactCounter::new();
+        for &k in &stream {
+            sketch.offer(k);
+            oracle.offer(k);
+        }
+        sketch.check_invariants();
+        prop_assert_eq!(sketch.total(), oracle.total());
+        for entry in sketch.iter() {
+            let truth = oracle.count(entry.key);
+            prop_assert!(entry.count >= truth,
+                "count {} underestimates true {}", entry.count, truth);
+            prop_assert!(entry.count - entry.error <= truth,
+                "guaranteed {} exceeds true {}", entry.count - entry.error, truth);
+        }
+    }
+
+    #[test]
+    fn min_count_bounded_by_total_over_capacity(
+        stream in stream(), capacity in 1usize..32,
+    ) {
+        let mut sketch = SpaceSaving::new(capacity);
+        for &k in &stream {
+            sketch.offer(k);
+        }
+        if sketch.len() == capacity {
+            prop_assert!(sketch.min_count() <= sketch.total() / capacity as u64,
+                "min {} > N/m = {}", sketch.min_count(),
+                sketch.total() / capacity as u64);
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_are_monitored(stream in stream(), capacity in 1usize..32) {
+        let mut sketch = SpaceSaving::new(capacity);
+        let mut oracle = ExactCounter::new();
+        for &k in &stream {
+            sketch.offer(k);
+            oracle.offer(k);
+        }
+        let threshold = oracle.total() / capacity as u64;
+        for (key, count) in oracle.iter() {
+            if count > threshold {
+                prop_assert!(sketch.contains(key),
+                    "heavy hitter {key:?} (count {count}) missing");
+            }
+        }
+    }
+
+    #[test]
+    fn iter_is_sorted_descending(stream in stream(), capacity in 1usize..32) {
+        let mut sketch = SpaceSaving::new(capacity);
+        for &k in &stream {
+            sketch.offer(k);
+        }
+        let counts: Vec<u64> = sketch.iter().map(|e| e.count).collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(sketch.len() <= capacity);
+        prop_assert_eq!(counts.len(), sketch.len());
+    }
+
+    #[test]
+    fn weighted_bounds_hold(stream in weighted_stream(), capacity in 1usize..16) {
+        let mut sketch = SpaceSaving::new(capacity);
+        let mut oracle = ExactCounter::new();
+        for &(k, w) in &stream {
+            sketch.offer_weighted(k, w);
+            oracle.offer_weighted(k, w);
+        }
+        sketch.check_invariants();
+        prop_assert_eq!(sketch.total(), oracle.total());
+        for entry in sketch.iter() {
+            let truth = oracle.count(entry.key);
+            prop_assert!(entry.count >= truth);
+            prop_assert!(entry.count - entry.error <= truth);
+        }
+    }
+
+    #[test]
+    fn merged_bounds_hold(
+        stream_a in stream(), stream_b in stream(), capacity in 1usize..16,
+    ) {
+        let mut a = SpaceSaving::new(capacity);
+        let mut b = SpaceSaving::new(capacity);
+        let mut oracle = ExactCounter::new();
+        for &k in &stream_a {
+            a.offer(k);
+            oracle.offer(k);
+        }
+        for &k in &stream_b {
+            b.offer(k);
+            oracle.offer(k);
+        }
+        let merged = SpaceSaving::merged(&a, &b, capacity * 2);
+        merged.check_invariants();
+        prop_assert_eq!(merged.total(), oracle.total());
+        for entry in merged.iter() {
+            let truth = oracle.count(entry.key);
+            prop_assert!(entry.count >= truth,
+                "merged count {} < true {}", entry.count, truth);
+            prop_assert!(entry.count - entry.error <= truth,
+                "merged guaranteed above truth");
+        }
+    }
+
+    #[test]
+    fn clear_then_reuse_is_fresh(stream in stream(), capacity in 1usize..16) {
+        let mut sketch = SpaceSaving::new(capacity);
+        for &k in &stream {
+            sketch.offer(k);
+        }
+        sketch.clear();
+        let mut oracle = ExactCounter::new();
+        for &k in &stream {
+            sketch.offer(k);
+            oracle.offer(k);
+        }
+        sketch.check_invariants();
+        prop_assert_eq!(sketch.total(), oracle.total());
+    }
+}
+
+mod count_min_props {
+    use proptest::prelude::*;
+    use streamloc_sketch::{CountMin, ExactCounter};
+
+    proptest! {
+        #[test]
+        fn count_min_never_underestimates(
+            stream in prop::collection::vec((0u16..128, 1u64..20), 0..800),
+            depth in 1usize..6,
+            width in 8usize..256,
+        ) {
+            let mut cm = CountMin::new(depth, width);
+            let mut oracle = ExactCounter::new();
+            for &(k, w) in &stream {
+                cm.offer_weighted(&k, w);
+                oracle.offer_weighted(k, w);
+            }
+            prop_assert_eq!(cm.total(), oracle.total());
+            for (key, count) in oracle.iter() {
+                prop_assert!(cm.estimate(key) >= count,
+                    "cm {} < true {}", cm.estimate(key), count);
+            }
+        }
+
+        #[test]
+        fn count_min_merge_upper_bounds(
+            a_stream in prop::collection::vec(0u16..64, 0..500),
+            b_stream in prop::collection::vec(0u16..64, 0..500),
+        ) {
+            let mut a = CountMin::new(4, 64);
+            let mut b = CountMin::new(4, 64);
+            let mut oracle = ExactCounter::new();
+            for &k in &a_stream {
+                a.offer(&k);
+                oracle.offer(k);
+            }
+            for &k in &b_stream {
+                b.offer(&k);
+                oracle.offer(k);
+            }
+            a.merge(&b);
+            prop_assert_eq!(a.total(), oracle.total());
+            for (key, count) in oracle.iter() {
+                prop_assert!(a.estimate(key) >= count);
+            }
+        }
+    }
+}

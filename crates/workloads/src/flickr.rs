@@ -1,0 +1,235 @@
+//! A Flickr-like workload with stable key correlations.
+//!
+//! Substitute for the paper's YFCC100M dump (100 M pictures with user
+//! tags and OpenStreetMap-derived countries, §4.4). The dataset is
+//! explicitly *stable* — "no temporal information and images are not
+//! ordered" — so the generator draws `(tag, country)` pairs from a
+//! fixed affinity map with Zipf-skewed marginals.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streamloc_engine::{splitmix64, Key, Tuple, TupleSource};
+
+use crate::zipf::Zipf;
+
+/// Key-space offset separating tag keys from country keys.
+pub const TAG_KEY_BASE: u64 = 2_000_000_000;
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlickrConfig {
+    /// Number of distinct user tags.
+    pub tags: usize,
+    /// Number of distinct countries.
+    pub countries: usize,
+    /// Zipf exponent of both marginals.
+    pub zipf_s: f64,
+    /// Probability a picture's country is its tag's affinity country.
+    pub correlation: f64,
+    /// Payload bytes per tuple (the experiment's padding).
+    pub padding: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for FlickrConfig {
+    fn default() -> Self {
+        Self {
+            tags: 50_000,
+            countries: 200,
+            zipf_s: 1.0,
+            correlation: 0.75,
+            padding: 4 * 1024,
+            seed: 0xf11c,
+        }
+    }
+}
+
+/// The Flickr-like stream of `(tag, country, padding)` tuples used by
+/// the reconfiguration-validation experiments (Figs. 13–14): field 0
+/// is the tag (first fields grouping), field 1 the country (second).
+///
+/// # Example
+///
+/// ```
+/// use streamloc_engine::TupleSource;
+/// use streamloc_workloads::{FlickrConfig, FlickrWorkload};
+///
+/// let workload = FlickrWorkload::new(FlickrConfig::default());
+/// let mut source = workload.source(0);
+/// let t = source.next_tuple().unwrap();
+/// assert!(t.key(0).value() >= streamloc_workloads::TAG_KEY_BASE);
+/// assert!(t.key(1).value() < 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlickrWorkload {
+    cfg: FlickrConfig,
+    zipf_tag: Zipf,
+    zipf_country: Zipf,
+}
+
+impl FlickrWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags` or `countries` is zero, or `correlation` is
+    /// outside `[0, 1]`.
+    #[must_use]
+    pub fn new(cfg: FlickrConfig) -> Self {
+        assert!(cfg.tags > 0 && cfg.countries > 0);
+        assert!((0.0..=1.0).contains(&cfg.correlation));
+        let zipf_tag = Zipf::new(cfg.tags, cfg.zipf_s);
+        let zipf_country = Zipf::new(cfg.countries, cfg.zipf_s);
+        Self {
+            cfg,
+            zipf_tag,
+            zipf_country,
+        }
+    }
+
+    /// The generator configuration.
+    #[must_use]
+    pub fn config(&self) -> &FlickrConfig {
+        &self.cfg
+    }
+
+    /// The fixed affinity country of `tag`.
+    #[must_use]
+    pub fn affinity(&self, tag: usize) -> usize {
+        (splitmix64(self.cfg.seed ^ (tag as u64).wrapping_mul(0xf1c2)) % self.cfg.countries as u64)
+            as usize
+    }
+
+    /// An endless tuple source for source instance `instance`.
+    #[must_use]
+    pub fn source(&self, instance: usize) -> Box<dyn TupleSource> {
+        let this = self.clone();
+        let mut rng = SmallRng::seed_from_u64(splitmix64(
+            self.cfg.seed ^ (instance as u64).wrapping_mul(0x5151),
+        ));
+        Box::new(move || {
+            let (tag, country) = this.draw(&mut rng);
+            Some(Tuple::new(
+                [tag_key(tag), country_key(country)],
+                this.cfg.padding,
+            ))
+        })
+    }
+
+    /// Draws `n` `(tag key, country key)` pairs, for offline analysis
+    /// and replay experiments.
+    #[must_use]
+    pub fn batch(&self, n: usize, stream_seed: u64) -> Vec<(Key, Key)> {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(self.cfg.seed ^ stream_seed));
+        (0..n)
+            .map(|_| {
+                let (tag, country) = self.draw(&mut rng);
+                (tag_key(tag), country_key(country))
+            })
+            .collect()
+    }
+
+    fn draw(&self, rng: &mut SmallRng) -> (usize, usize) {
+        let tag = self.zipf_tag.sample(rng);
+        let country = if rng.gen_bool(self.cfg.correlation) {
+            self.affinity(tag)
+        } else {
+            self.zipf_country.sample(rng)
+        };
+        (tag, country)
+    }
+}
+
+/// Key encoding of tag index `tag`.
+#[must_use]
+pub fn tag_key(tag: usize) -> Key {
+    Key::new(TAG_KEY_BASE + tag as u64)
+}
+
+/// Key encoding of country index `country`.
+#[must_use]
+pub fn country_key(country: usize) -> Key {
+    Key::new(country as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn small() -> FlickrWorkload {
+        FlickrWorkload::new(FlickrConfig {
+            tags: 1_000,
+            countries: 30,
+            padding: 64,
+            ..FlickrConfig::default()
+        })
+    }
+
+    #[test]
+    fn correlation_fraction_matches() {
+        let w = small();
+        let batch = w.batch(20_000, 1);
+        let matches = batch
+            .iter()
+            .filter(|(t, c)| {
+                let tag = (t.value() - TAG_KEY_BASE) as usize;
+                w.affinity(tag) == c.value() as usize
+            })
+            .count();
+        let frac = matches as f64 / batch.len() as f64;
+        // correlation + (1 - correlation)/countries accidental hits
+        assert!(
+            frac > 0.74 && frac < 0.82,
+            "affinity fraction {frac} off target"
+        );
+    }
+
+    #[test]
+    fn workload_is_stable_across_batches() {
+        let w = small();
+        let top = |b: &[(Key, Key)]| -> HashSet<(Key, Key)> {
+            let mut counts: HashMap<(Key, Key), u32> = HashMap::new();
+            for &p in b {
+                *counts.entry(p).or_default() += 1;
+            }
+            let mut v: Vec<_> = counts.into_iter().collect();
+            v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            v.into_iter().take(30).map(|(p, _)| p).collect()
+        };
+        let t1 = top(&w.batch(20_000, 1));
+        let t2 = top(&w.batch(20_000, 999));
+        let overlap = t1.intersection(&t2).count();
+        assert!(overlap >= 25, "stable workload drifted: overlap {overlap}/30");
+    }
+
+    #[test]
+    fn source_is_deterministic_per_instance() {
+        let w = small();
+        let mut a = w.source(2);
+        let mut b = w.source(2);
+        let mut c = w.source(3);
+        let mut saw_difference = false;
+        for _ in 0..50 {
+            let ta = a.next_tuple().unwrap();
+            assert_eq!(ta, b.next_tuple().unwrap());
+            if ta != c.next_tuple().unwrap() {
+                saw_difference = true;
+            }
+        }
+        assert!(saw_difference, "instances should draw distinct streams");
+    }
+
+    #[test]
+    fn padding_is_applied() {
+        let w = FlickrWorkload::new(FlickrConfig {
+            tags: 10,
+            countries: 5,
+            padding: 12 * 1024,
+            ..FlickrConfig::default()
+        });
+        let t = w.source(0).next_tuple().unwrap();
+        assert_eq!(t.payload_bytes(), 12 * 1024);
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generators for the locality-aware routing experiments.
+//!
+//! Three workload families reproduce the paper's evaluation inputs
+//! (see the workspace DESIGN.md for the substitution rationale):
+//!
+//! * [`SyntheticWorkload`] — the controlled `(i, j, padding)` tuples
+//!   of §4.2 with an exact locality parameter;
+//! * [`TwitterWorkload`] — a drifting geo/hashtag stream standing in
+//!   for the paper's 173 M-tweet crawl (§4.3): Zipf-skewed keys,
+//!   weekly affinity drift, fresh hashtags and flash events;
+//! * [`FlickrWorkload`] — a stable `(tag, country, padding)` stream
+//!   standing in for YFCC100M (§4.4);
+//! * [`LogsWorkload`] — a service-log stream (the intro's "software
+//!   logs"): stable service↔signature correlations plus incident
+//!   bursts.
+//!
+//! All generators are fully deterministic given their seed, so every
+//! figure in EXPERIMENTS.md is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod flickr;
+mod logs;
+mod synthetic;
+mod twitter;
+mod zipf;
+
+pub use flickr::{country_key, tag_key as flickr_tag_key, FlickrConfig, FlickrWorkload, TAG_KEY_BASE};
+pub use logs::{service_key, signature_key, LogsConfig, LogsWorkload, SIGNATURE_KEY_BASE};
+pub use synthetic::SyntheticWorkload;
+pub use twitter::{
+    loc_key, tag_key, FlashEvent, TwitterConfig, TwitterWorkload, DAYS_PER_WEEK, HASHTAG_KEY_BASE,
+};
+pub use zipf::Zipf;

@@ -1,0 +1,262 @@
+//! A service-log workload: error events correlated with the services
+//! that emit them, punctuated by incident bursts.
+//!
+//! The paper's introduction motivates stream processing with
+//! "software logs" next to social streams; this generator models that
+//! operational shape: each error *signature* (a log template) belongs
+//! to one service, most events carry a signature of their own service
+//! (stable correlation — ideal for routing tables), and occasional
+//! *incidents* flood the stream with one `(service, signature)` pair
+//! for a stretch, stressing load balance exactly like the Twitter
+//! generator's flash events.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streamloc_engine::{splitmix64, Key, Tuple, TupleSource};
+
+use crate::zipf::Zipf;
+
+/// Key-space offset separating signature keys from service keys.
+pub const SIGNATURE_KEY_BASE: u64 = 3_000_000_000;
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogsConfig {
+    /// Number of services emitting logs.
+    pub services: usize,
+    /// Number of distinct error signatures (log templates).
+    pub signatures: usize,
+    /// Zipf exponent of both marginals.
+    pub zipf_s: f64,
+    /// Probability an event's signature belongs to its service.
+    pub correlation: f64,
+    /// Probability per emitted tuple that a new incident starts.
+    pub incident_rate: f64,
+    /// Number of tuples an incident floods.
+    pub incident_length: u64,
+    /// Log line payload size in bytes.
+    pub payload: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for LogsConfig {
+    fn default() -> Self {
+        Self {
+            services: 50,
+            signatures: 5_000,
+            zipf_s: 1.0,
+            correlation: 0.85,
+            incident_rate: 2e-5,
+            incident_length: 4_000,
+            payload: 512,
+            seed: 0x10c5,
+        }
+    }
+}
+
+/// The log stream: `(service, signature, payload)` tuples — field 0
+/// routes per-service statistics, field 1 per-signature statistics.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_engine::TupleSource;
+/// use streamloc_workloads::{LogsConfig, LogsWorkload};
+///
+/// let workload = LogsWorkload::new(LogsConfig::default());
+/// let mut source = workload.source(0);
+/// let event = source.next_tuple().unwrap();
+/// assert!(event.key(0).value() < 50);
+/// assert!(event.key(1).value() >= streamloc_workloads::SIGNATURE_KEY_BASE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogsWorkload {
+    cfg: LogsConfig,
+    zipf_service: Zipf,
+    zipf_signature: Zipf,
+}
+
+impl LogsWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services` or `signatures` is zero, or any
+    /// probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(cfg: LogsConfig) -> Self {
+        assert!(cfg.services > 0 && cfg.signatures > 0);
+        assert!((0.0..=1.0).contains(&cfg.correlation));
+        assert!((0.0..=1.0).contains(&cfg.incident_rate));
+        let zipf_service = Zipf::new(cfg.services, cfg.zipf_s);
+        let zipf_signature = Zipf::new(cfg.signatures, cfg.zipf_s);
+        Self {
+            cfg,
+            zipf_service,
+            zipf_signature,
+        }
+    }
+
+    /// The generator configuration.
+    #[must_use]
+    pub fn config(&self) -> &LogsConfig {
+        &self.cfg
+    }
+
+    /// The service owning `signature` (fixed: log templates do not
+    /// change hands).
+    #[must_use]
+    pub fn owner(&self, signature: usize) -> usize {
+        (splitmix64(self.cfg.seed ^ (signature as u64).wrapping_mul(0x10c5))
+            % self.cfg.services as u64) as usize
+    }
+
+    /// An endless tuple source for source instance `instance`.
+    #[must_use]
+    pub fn source(&self, instance: usize) -> Box<dyn TupleSource> {
+        let this = self.clone();
+        let mut rng = SmallRng::seed_from_u64(splitmix64(
+            self.cfg.seed ^ (instance as u64).wrapping_mul(0xcafe),
+        ));
+        let mut incident: Option<(usize, usize, u64)> = None; // service, sig, left
+        Box::new(move || {
+            if let Some((service, signature, left)) = incident {
+                incident = (left > 1).then_some((service, signature, left - 1));
+                return Some(Tuple::new(
+                    [service_key(service), signature_key(signature)],
+                    this.cfg.payload,
+                ));
+            }
+            if rng.gen_bool(this.cfg.incident_rate) {
+                // An incident floods one hot pair for a stretch.
+                let signature = this.zipf_signature.sample(&mut rng);
+                let service = this.owner(signature);
+                incident = Some((service, signature, this.cfg.incident_length));
+            }
+            let signature = this.zipf_signature.sample(&mut rng);
+            let service = if rng.gen_bool(this.cfg.correlation) {
+                this.owner(signature)
+            } else {
+                this.zipf_service.sample(&mut rng)
+            };
+            Some(Tuple::new(
+                [service_key(service), signature_key(signature)],
+                this.cfg.payload,
+            ))
+        })
+    }
+
+    /// Draws `n` `(service key, signature key)` pairs for offline
+    /// analysis, without incidents.
+    #[must_use]
+    pub fn batch(&self, n: usize, stream_seed: u64) -> Vec<(Key, Key)> {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(self.cfg.seed ^ stream_seed));
+        (0..n)
+            .map(|_| {
+                let signature = self.zipf_signature.sample(&mut rng);
+                let service = if rng.gen_bool(self.cfg.correlation) {
+                    self.owner(signature)
+                } else {
+                    self.zipf_service.sample(&mut rng)
+                };
+                (service_key(service), signature_key(signature))
+            })
+            .collect()
+    }
+}
+
+/// Key encoding of service index `service`.
+#[must_use]
+pub fn service_key(service: usize) -> Key {
+    Key::new(service as u64)
+}
+
+/// Key encoding of signature index `signature`.
+#[must_use]
+pub fn signature_key(signature: usize) -> Key {
+    Key::new(SIGNATURE_KEY_BASE + signature as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LogsWorkload {
+        LogsWorkload::new(LogsConfig {
+            services: 10,
+            signatures: 200,
+            incident_rate: 0.0,
+            ..LogsConfig::default()
+        })
+    }
+
+    #[test]
+    fn ownership_is_stable_and_in_range() {
+        let w = small();
+        for sig in 0..200 {
+            let o = w.owner(sig);
+            assert!(o < 10);
+            assert_eq!(o, w.owner(sig), "ownership must not drift");
+        }
+    }
+
+    #[test]
+    fn correlation_fraction_matches() {
+        let w = small();
+        let batch = w.batch(20_000, 3);
+        let owned = batch
+            .iter()
+            .filter(|(svc, sig)| {
+                let signature = (sig.value() - SIGNATURE_KEY_BASE) as usize;
+                w.owner(signature) == svc.value() as usize
+            })
+            .count();
+        let frac = owned as f64 / batch.len() as f64;
+        assert!(
+            frac > 0.84 && frac < 0.92,
+            "owner fraction {frac} off target"
+        );
+    }
+
+    #[test]
+    fn incidents_flood_one_pair() {
+        let w = LogsWorkload::new(LogsConfig {
+            services: 10,
+            signatures: 100,
+            incident_rate: 0.01,
+            incident_length: 500,
+            ..LogsConfig::default()
+        });
+        let mut s = w.source(0);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let t = s.next_tuple().unwrap();
+            *counts.entry((t.key(0), t.key(1))).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            max > 500,
+            "incident bursts should dominate some pair: max {max}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_instance() {
+        let w = small();
+        let mut a = w.source(1);
+        let mut b = w.source(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_tuple().unwrap(), b.next_tuple().unwrap());
+        }
+    }
+
+    #[test]
+    fn payload_applied() {
+        let w = LogsWorkload::new(LogsConfig {
+            payload: 1024,
+            ..LogsConfig::default()
+        });
+        assert_eq!(w.source(0).next_tuple().unwrap().payload_bytes(), 1024);
+    }
+}

@@ -1,0 +1,447 @@
+//! A Twitter-like workload with drifting key correlations.
+//!
+//! Substitute for the paper's crawl of 173 M geo-tagged tweets
+//! (Oct 2015 – May 2016). The generator reproduces the three
+//! properties the evaluation depends on (see DESIGN.md §2):
+//!
+//! * Zipf-skewed locations and hashtags;
+//! * correlation between the two key spaces (each hashtag has an
+//!   affinity location, so `(location, hashtag)` pairs repeat);
+//! * *drift*: part of the hashtag population re-draws its affinity
+//!   every week, new hashtags keep appearing, and short flash events
+//!   (à la `#nevertrump` in Fig. 10) bind a hashtag to one location
+//!   for a few days.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use streamloc_engine::{splitmix64, Key};
+
+use crate::zipf::Zipf;
+
+/// Key-space offset separating hashtag keys from location keys.
+pub const HASHTAG_KEY_BASE: u64 = 1_000_000_000;
+
+/// Days per generated week.
+pub const DAYS_PER_WEEK: usize = 7;
+
+/// A short-lived spike binding `hashtag` to `location` (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashEvent {
+    /// Location index of the spike.
+    pub location: usize,
+    /// Hashtag index of the spike.
+    pub hashtag: usize,
+    /// First active day (absolute day number).
+    pub start_day: usize,
+    /// Number of active days.
+    pub duration_days: usize,
+}
+
+impl FlashEvent {
+    /// Whether the event is active on absolute day `day`.
+    #[must_use]
+    pub fn active_on(&self, day: usize) -> bool {
+        (self.start_day..self.start_day + self.duration_days).contains(&day)
+    }
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwitterConfig {
+    /// Number of distinct locations.
+    pub locations: usize,
+    /// Number of distinct base hashtags (fresh ones are added weekly).
+    pub hashtags: usize,
+    /// Zipf exponent of both key spaces.
+    pub zipf_s: f64,
+    /// Probability a tweet's hashtag is drawn from its location's
+    /// affiliated hashtags (the correlation strength).
+    pub correlation: f64,
+    /// Fraction of hashtags whose affinity location never drifts.
+    pub stable_fraction: f64,
+    /// A drifting hashtag re-draws its affinity every this many weeks
+    /// (with a per-tag phase, so roughly `1/drift_period_weeks` of the
+    /// drifting tags move each week). Must be ≥ 1.
+    pub drift_period_weeks: usize,
+    /// Brand-new hashtag ids introduced each week.
+    pub fresh_per_week: usize,
+    /// Probability a tweet uses one of this week's fresh hashtags.
+    pub fresh_rate: f64,
+    /// Tweets generated per day.
+    pub tuples_per_day: usize,
+    /// Flash events started per week.
+    pub events_per_week: usize,
+    /// Probability a tweet belongs to an active flash event.
+    pub event_intensity: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        Self {
+            locations: 300,
+            hashtags: 30_000,
+            zipf_s: 1.0,
+            correlation: 0.8,
+            stable_fraction: 0.5,
+            drift_period_weeks: 4,
+            fresh_per_week: 300,
+            fresh_rate: 0.02,
+            tuples_per_day: 10_000,
+            events_per_week: 3,
+            event_intensity: 0.05,
+            seed: 0x7717,
+        }
+    }
+}
+
+/// The Twitter-like stream, addressable by day or week so the
+/// experiment harnesses can replay any period deterministically.
+///
+/// # Example
+///
+/// ```
+/// use streamloc_workloads::{TwitterConfig, TwitterWorkload};
+///
+/// let mut tw = TwitterWorkload::new(TwitterConfig {
+///     tuples_per_day: 100,
+///     ..TwitterConfig::default()
+/// });
+/// let day0 = tw.day(0);
+/// assert_eq!(day0.len(), 100);
+/// let (location, hashtag) = day0[0];
+/// assert!(location.value() < 300);
+/// assert!(hashtag.value() >= streamloc_workloads::HASHTAG_KEY_BASE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwitterWorkload {
+    cfg: TwitterConfig,
+    zipf_loc: Zipf,
+    zipf_tag: Zipf,
+    /// Cached per-location affiliated hashtag lists for one week.
+    affiliated_week: Option<(usize, Vec<Vec<usize>>)>,
+}
+
+impl TwitterWorkload {
+    /// Creates the generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locations` or `hashtags` is zero, or any probability
+    /// is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(cfg: TwitterConfig) -> Self {
+        assert!(cfg.locations > 0 && cfg.hashtags > 0);
+        for p in [
+            cfg.correlation,
+            cfg.stable_fraction,
+            cfg.fresh_rate,
+            cfg.event_intensity,
+        ] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        let zipf_loc = Zipf::new(cfg.locations, cfg.zipf_s);
+        let zipf_tag = Zipf::new(cfg.hashtags, cfg.zipf_s);
+        Self {
+            cfg,
+            zipf_loc,
+            zipf_tag,
+            affiliated_week: None,
+        }
+    }
+
+    /// The generator configuration.
+    #[must_use]
+    pub fn config(&self) -> &TwitterConfig {
+        &self.cfg
+    }
+
+    /// The affinity location of `hashtag` during `week`. Stable
+    /// hashtags keep one affinity forever; drifting ones re-draw it
+    /// every `drift_period_weeks`, phase-shifted per tag so the drift
+    /// is spread evenly over the weeks.
+    #[must_use]
+    pub fn affinity(&self, hashtag: usize, week: usize) -> usize {
+        let tag_mix = splitmix64(self.cfg.seed ^ (hashtag as u64).wrapping_mul(0x51ab));
+        let stable = (tag_mix % 10_000) as f64 / 10_000.0 < self.cfg.stable_fraction;
+        let basis = if stable {
+            splitmix64(tag_mix)
+        } else {
+            let period = self.cfg.drift_period_weeks.max(1);
+            let phase = (tag_mix >> 32) as usize % period;
+            let epoch = ((week + phase) / period) as u64;
+            splitmix64(tag_mix ^ (epoch + 1).wrapping_mul(0xdead_beef))
+        };
+        (basis % self.cfg.locations as u64) as usize
+    }
+
+    /// Flash events started during `week`.
+    #[must_use]
+    pub fn events(&self, week: usize) -> Vec<FlashEvent> {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(
+            self.cfg.seed ^ 0xe4e7 ^ (week as u64).wrapping_mul(0x2545),
+        ));
+        (0..self.cfg.events_per_week)
+            .map(|_| FlashEvent {
+                location: rng.gen_range(0..self.cfg.locations),
+                hashtag: rng.gen_range(0..100.min(self.cfg.hashtags)),
+                start_day: week * DAYS_PER_WEEK + rng.gen_range(0..5),
+                duration_days: rng.gen_range(2..4),
+            })
+            .collect()
+    }
+
+    /// Generates day `day` (absolute day number) as `(location key,
+    /// hashtag key)` pairs. Deterministic and random-access: any day
+    /// can be generated in any order.
+    pub fn day(&mut self, day: usize) -> Vec<(Key, Key)> {
+        let week = day / DAYS_PER_WEEK;
+        self.ensure_affiliated(week);
+        let affiliated = &self.affiliated_week.as_ref().expect("just built").1;
+        let mut active_events: Vec<FlashEvent> = Vec::new();
+        for w in week.saturating_sub(1)..=week {
+            active_events.extend(self.events(w).into_iter().filter(|e| e.active_on(day)));
+        }
+        let mut rng = SmallRng::seed_from_u64(splitmix64(
+            self.cfg.seed ^ (day as u64).wrapping_mul(0x9e37_79b9),
+        ));
+        let mut out = Vec::with_capacity(self.cfg.tuples_per_day);
+        for _ in 0..self.cfg.tuples_per_day {
+            if !active_events.is_empty() && rng.gen_bool(self.cfg.event_intensity) {
+                let ev = active_events[rng.gen_range(0..active_events.len())];
+                out.push((loc_key(ev.location), tag_key(ev.hashtag)));
+                continue;
+            }
+            let loc = self.zipf_loc.sample(&mut rng);
+            let tag = if rng.gen_bool(self.cfg.fresh_rate) {
+                // A hashtag born this week, never seen before.
+                self.cfg.hashtags
+                    + week * self.cfg.fresh_per_week
+                    + rng.gen_range(0..self.cfg.fresh_per_week.max(1))
+            } else if rng.gen_bool(self.cfg.correlation) && !affiliated[loc].is_empty() {
+                // Zipf-skewed pick within the location's affiliated
+                // tags (log-uniform index ≈ Zipf with s = 1).
+                let list = &affiliated[loc];
+                let u: f64 = rng.gen();
+                let idx = (((list.len() + 1) as f64).powf(u) as usize).saturating_sub(1);
+                list[idx.min(list.len() - 1)]
+            } else {
+                self.zipf_tag.sample(&mut rng)
+            };
+            out.push((loc_key(loc), tag_key(tag)));
+        }
+        out
+    }
+
+    /// Generates a full week (7 concatenated days).
+    pub fn week(&mut self, week: usize) -> Vec<(Key, Key)> {
+        let mut out = Vec::with_capacity(self.cfg.tuples_per_day * DAYS_PER_WEEK);
+        for d in 0..DAYS_PER_WEEK {
+            out.extend(self.day(week * DAYS_PER_WEEK + d));
+        }
+        out
+    }
+
+    /// Turns the workload into a live [`TupleSource`] for source
+    /// instance `instance` of `instances`: days are generated in
+    /// order, each instance emitting every `instances`-th tweet, so a
+    /// cluster simulation sees the same drifting stream the replay
+    /// harnesses analyse.
+    ///
+    /// [`TupleSource`]: streamloc_engine::TupleSource
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instance >= instances`.
+    #[must_use]
+    pub fn source(
+        mut self,
+        instance: usize,
+        instances: usize,
+        padding: u32,
+    ) -> Box<dyn streamloc_engine::TupleSource> {
+        assert!(instance < instances, "instance index out of range");
+        let mut day = 0usize;
+        let mut buffer: std::collections::VecDeque<(Key, Key)> =
+            std::collections::VecDeque::new();
+        Box::new(move || loop {
+            if let Some((loc, tag)) = buffer.pop_front() {
+                return Some(streamloc_engine::Tuple::new([loc, tag], padding));
+            }
+            let batch = self.day(day);
+            day += 1;
+            buffer.extend(batch.into_iter().skip(instance).step_by(instances));
+        })
+    }
+
+    /// Rebuilds the cached per-location affiliated-hashtag lists when
+    /// `week` differs from the cached one.
+    fn ensure_affiliated(&mut self, week: usize) {
+        if matches!(&self.affiliated_week, Some((w, _)) if *w == week) {
+            return;
+        }
+        let mut lists = vec![Vec::new(); self.cfg.locations];
+        for tag in 0..self.cfg.hashtags {
+            lists[self.affinity(tag, week)].push(tag);
+        }
+        self.affiliated_week = Some((week, lists));
+    }
+}
+
+/// Key encoding of location index `loc`.
+#[must_use]
+pub fn loc_key(loc: usize) -> Key {
+    Key::new(loc as u64)
+}
+
+/// Key encoding of hashtag index `tag`.
+#[must_use]
+pub fn tag_key(tag: usize) -> Key {
+    Key::new(HASHTAG_KEY_BASE + tag as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn small() -> TwitterWorkload {
+        TwitterWorkload::new(TwitterConfig {
+            locations: 20,
+            hashtags: 500,
+            fresh_per_week: 20,
+            tuples_per_day: 2_000,
+            ..TwitterConfig::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_random_access() {
+        let mut a = small();
+        let mut b = small();
+        let d5_first = a.day(5);
+        let _ = b.day(9); // different access order
+        let d5_second = b.day(5);
+        assert_eq!(d5_first, d5_second);
+    }
+
+    #[test]
+    fn key_spaces_are_disjoint() {
+        let mut w = small();
+        for (loc, tag) in w.day(0) {
+            assert!(loc.value() < HASHTAG_KEY_BASE);
+            assert!(tag.value() >= HASHTAG_KEY_BASE);
+        }
+    }
+
+    #[test]
+    fn stable_tags_keep_affinity_drifting_tags_move() {
+        let w = small();
+        let mut stable = 0;
+        let mut moved = 0;
+        for tag in 0..w.config().hashtags {
+            let a = w.affinity(tag, 0);
+            let changed = (1..=2 * w.config().drift_period_weeks)
+                .any(|wk| w.affinity(tag, wk) != a);
+            if changed {
+                moved += 1;
+            } else {
+                stable += 1;
+            }
+        }
+        // Roughly stable_fraction of tags never move (a drifting tag
+        // re-draws 5 times over 20 locations: P(all same) ≈ 0).
+        let frac = stable as f64 / (stable + moved) as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.08,
+            "stable fraction {frac} far from configured 0.5"
+        );
+    }
+
+    #[test]
+    fn correlations_drift_across_weeks() {
+        let mut w = small();
+        let top_pairs = |batch: &[(Key, Key)]| -> HashSet<(Key, Key)> {
+            let mut counts: HashMap<(Key, Key), u32> = HashMap::new();
+            for &p in batch {
+                *counts.entry(p).or_default() += 1;
+            }
+            let mut v: Vec<_> = counts.into_iter().collect();
+            v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            v.into_iter().take(50).map(|(p, _)| p).collect()
+        };
+        let w0 = w.week(0);
+        let w8 = w.week(8);
+        let t0 = top_pairs(&w0);
+        let t8 = top_pairs(&w8);
+        let overlap = t0.intersection(&t8).count();
+        assert!(
+            overlap < 45,
+            "top pairs should drift between weeks (overlap {overlap}/50)"
+        );
+        assert!(
+            overlap > 0,
+            "stable tags should keep some pairs in common"
+        );
+    }
+
+    #[test]
+    fn fresh_hashtags_only_appear_in_their_week() {
+        let mut w = small();
+        let base = w.config().hashtags;
+        let per_week = w.config().fresh_per_week;
+        let week3_fresh_range =
+            (base + 3 * per_week) as u64 + HASHTAG_KEY_BASE..(base + 4 * per_week) as u64 + HASHTAG_KEY_BASE;
+        let w1 = w.week(1);
+        assert!(
+            !w1.iter().any(|(_, t)| week3_fresh_range.contains(&t.value())),
+            "week 1 must not contain week 3's fresh hashtags"
+        );
+        let w3 = w.week(3);
+        assert!(
+            w3.iter().any(|(_, t)| week3_fresh_range.contains(&t.value())),
+            "week 3 should contain its fresh hashtags"
+        );
+    }
+
+    #[test]
+    fn events_spike_their_pair() {
+        let mut w = TwitterWorkload::new(TwitterConfig {
+            locations: 20,
+            hashtags: 500,
+            tuples_per_day: 5_000,
+            events_per_week: 1,
+            event_intensity: 0.2,
+            ..TwitterConfig::default()
+        });
+        let events = w.events(2);
+        let ev = events[0];
+        let day = w.day(ev.start_day);
+        let pair = (loc_key(ev.location), tag_key(ev.hashtag));
+        let hits = day.iter().filter(|&&p| p == pair).count();
+        assert!(
+            hits > day.len() / 20,
+            "event pair should spike: {hits}/{}",
+            day.len()
+        );
+        // And be (almost) silent the week before the event.
+        let quiet_day = ev.start_day.saturating_sub(DAYS_PER_WEEK * 2);
+        let quiet = w.day(quiet_day);
+        let quiet_hits = quiet.iter().filter(|&&p| p == pair).count();
+        assert!(quiet_hits * 10 < hits.max(10), "pair hot before the event");
+    }
+
+    #[test]
+    fn locations_are_zipf_skewed() {
+        let mut w = small();
+        let batch = w.week(0);
+        let mut counts: HashMap<Key, u32> = HashMap::new();
+        for (loc, _) in batch {
+            *counts.entry(loc).or_default() += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        let avg = counts.values().copied().sum::<u32>() / counts.len() as u32;
+        assert!(top > avg * 3, "expected heavy skew: top {top}, avg {avg}");
+    }
+}

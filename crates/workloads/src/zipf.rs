@@ -1,0 +1,148 @@
+//! A seeded Zipf sampler.
+
+use rand::Rng;
+
+/// Zipf-distributed ranks over `0..n`: rank `r` is drawn with
+/// probability proportional to `1 / (r + 1)^s`.
+///
+/// The paper motivates bounded-memory statistics by the Zipfian shape
+/// of real key distributions (§3.2, citing the long tail); both the
+/// Twitter-like and Flickr-like generators draw locations and
+/// hashtags from this distribution.
+///
+/// Sampling is by binary search over the precomputed CDF — O(log n)
+/// per draw, exact, and deterministic for a seeded RNG.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use streamloc_workloads::Zipf;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `0..n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0.0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Support size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always `false` (the constructor rejects empty supports); kept
+    /// for API symmetry with `len`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= len()`.
+    #[must_use]
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_in_support() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_favors_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 should collect ~1/H(100) ≈ 19% of draws.
+        assert!((15_000..24_000).contains(&counts[0]), "rank0: {}", counts[0]);
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.5);
+        let sum: f64 = (0..50).map(|r| z.pmf(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Geo-tagged photo statistics on a Flickr-like stream (paper §4.4).
+//!
+//! Counts pictures per user tag and per country on a 6-server
+//! cluster, comparing a run without reconfiguration against a run
+//! where the manager deploys locality-aware tables mid-stream — the
+//! setting of Fig. 13, with the paper's 30-minute runs compressed to
+//! 30 simulated seconds (1 s ↔ 1 min; shapes are preserved, see
+//! EXPERIMENTS.md).
+//!
+//! ```bash
+//! cargo run --release --example geo_tags
+//! ```
+
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, Placement, SimConfig, Simulation, SourceRate, Topology,
+};
+use streamloc::routing::{Manager, ManagerConfig};
+use streamloc::workloads::{FlickrConfig, FlickrWorkload};
+
+const SERVERS: usize = 6;
+const TOTAL_SECONDS: usize = 30;
+const RECONFIG_AT_SECOND: usize = 10;
+
+fn build_sim(padding: u32) -> Simulation {
+    let workload = FlickrWorkload::new(FlickrConfig {
+        padding,
+        ..FlickrConfig::default()
+    });
+    let mut builder = Topology::builder();
+    let source = builder.source("photos", SERVERS, SourceRate::Saturate, move |i| {
+        workload.source(i)
+    });
+    let by_tag = builder.stateful("by_tag", SERVERS, CountOperator::factory());
+    let by_country = builder.stateful("by_country", SERVERS, CountOperator::factory());
+    builder.connect(source, by_tag, Grouping::fields(0));
+    builder.connect(by_tag, by_country, Grouping::fields(1));
+    let topology = builder.build().expect("valid chain topology");
+    let placement = Placement::aligned(&topology, SERVERS);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_1g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+fn main() {
+    let padding = 4 * 1024;
+    let windows_per_second = 10;
+
+    // Run A: plain hash routing for the whole run.
+    let mut plain = build_sim(padding);
+    plain.run(TOTAL_SECONDS * windows_per_second);
+
+    // Run B: identical, but the manager reconfigures at t = 10 s.
+    let mut reconf = build_sim(padding);
+    let mut manager = Manager::attach(&mut reconf, ManagerConfig::default());
+    reconf.run(RECONFIG_AT_SECOND * windows_per_second);
+    let summary = manager
+        .reconfigure(&mut reconf)
+        .expect("no wave in flight");
+    reconf.run((TOTAL_SECONDS - RECONFIG_AT_SECOND) * windows_per_second);
+
+    println!(
+        "flickr-like stream, {SERVERS} servers, 1 Gb/s, {padding} B tuples; reconfiguration at t={RECONFIG_AT_SECOND}s"
+    );
+    println!(
+        "(expected locality {:.0}%, {} key states migrated)\n",
+        summary.expected_locality * 100.0,
+        summary.migrations
+    );
+    println!("time   w/o reconf   w/ reconf   (Ktuples/s)");
+    let plain_series = plain.metrics().throughput_series();
+    let reconf_series = reconf.metrics().throughput_series();
+    for second in (0..TOTAL_SECONDS).step_by(2) {
+        let avg = |series: &[f64]| {
+            let lo = second * windows_per_second;
+            let hi = (second + 2) * windows_per_second;
+            series[lo..hi.min(series.len())].iter().sum::<f64>()
+                / (hi.min(series.len()) - lo) as f64
+        };
+        println!(
+            "{:>3}s   {:>9.1}   {:>9.1}{}",
+            second,
+            avg(&plain_series) / 1e3,
+            avg(&reconf_series) / 1e3,
+            if second == RECONFIG_AT_SECOND { "   ← reconfiguration" } else { "" }
+        );
+    }
+
+    let skip = (RECONFIG_AT_SECOND + 2) * windows_per_second;
+    let plain_avg = plain.metrics().avg_throughput(skip);
+    let reconf_avg = reconf.metrics().avg_throughput(skip);
+    println!(
+        "\nsteady state after t={}s: {:.1} → {:.1} Ktuples/s (×{:.2})",
+        RECONFIG_AT_SECOND,
+        plain_avg / 1e3,
+        reconf_avg / 1e3,
+        reconf_avg / plain_avg
+    );
+
+    // The by_country statistics survive the migration: show the top
+    // countries aggregated across instances.
+    let by_country = reconf.topology().po_by_name("by_country").unwrap();
+    let mut totals: Vec<(u64, u64)> = Vec::new(); // (country, count)
+    for poi in reconf.poi_ids(by_country) {
+        for (k, v) in reconf.poi_state(poi) {
+            totals.push((k.value(), v.as_count().unwrap_or(0)));
+        }
+    }
+    totals.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("\ntop countries by photo count (state preserved across migration):");
+    for (country, count) in totals.iter().take(5) {
+        println!("  country {country:>4}: {count} photos");
+    }
+}

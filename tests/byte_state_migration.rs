@@ -1,0 +1,189 @@
+//! Byte-state operators across migration: the reconfiguration
+//! protocol must move opaque serialized state (HLL registers,
+//! windowed counters) without corrupting it — the general-application
+//! case beyond the paper's counting operator.
+
+use streamloc::engine::{
+    ApproxDistinctOperator, ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig,
+    Simulation, SourceRate, StateValue, Topology, Tuple, WindowedCountOperator,
+};
+use streamloc::routing::{Manager, ManagerConfig};
+
+const SERVERS: usize = 3;
+const LOCATIONS: u64 = 9;
+const TOPICS: u64 = 60;
+
+/// (location, topic) stream where each location sees many topics.
+fn sim_with(factory: streamloc::engine::OperatorFactory) -> Simulation {
+    let mut builder = Topology::builder();
+    let s = builder.source("S", SERVERS, SourceRate::PerSecond(30_000.0), move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let loc = (c >> 4) % LOCATIONS;
+            // Topics correlate with locations but cycle broadly.
+            let topic = LOCATIONS + (loc * 7 + (c >> 24) % 7) % TOPICS;
+            Some(Tuple::new([Key::new(loc), Key::new(topic)], 64))
+        })
+    });
+    let a = builder.stateful("distinct_topics", SERVERS, factory);
+    let b = builder.stateful("by_topic", SERVERS, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, SERVERS);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+/// HLL estimates per location, merged over all instances.
+fn estimates(sim: &Simulation) -> Vec<(Key, f64)> {
+    let po = sim.topology().po_by_name("distinct_topics").unwrap();
+    let mut out = Vec::new();
+    for poi in sim.poi_ids(po) {
+        for (&k, v) in sim.poi_state(poi) {
+            out.push((k, ApproxDistinctOperator::estimate(v).unwrap()));
+        }
+    }
+    out.sort_by_key(|&(k, _)| k);
+    out
+}
+
+#[test]
+fn hll_state_survives_migration() {
+    let mut sim = sim_with(ApproxDistinctOperator::factory(1));
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(20);
+    let before = estimates(&sim);
+    assert_eq!(before.len(), LOCATIONS as usize, "all locations seen");
+
+    manager.reconfigure(&mut sim).unwrap();
+    sim.run(40);
+    assert_eq!(sim.pending_migrations(), 0);
+
+    let after = estimates(&sim);
+    assert_eq!(after.len(), LOCATIONS as usize, "no key lost in migration");
+    for ((k1, e1), (k2, e2)) in before.iter().zip(&after) {
+        assert_eq!(k1, k2);
+        assert!(
+            e2 >= &(e1 - 0.5),
+            "estimate of {k1} shrank across migration: {e1} -> {e2}"
+        );
+    }
+    // Each location sees exactly 7 distinct topics; HLL-64 should land
+    // in a generous band around that.
+    for (k, e) in &after {
+        assert!((3.0..20.0).contains(e), "estimate for {k} wild: {e}");
+    }
+}
+
+#[test]
+fn hll_keys_have_unique_owner_after_migration() {
+    let mut sim = sim_with(ApproxDistinctOperator::factory(1));
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(15);
+    manager.reconfigure(&mut sim).unwrap();
+    sim.run(30);
+    let po = sim.topology().po_by_name("distinct_topics").unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for poi in sim.poi_ids(po) {
+        for &k in sim.poi_state(poi).keys() {
+            assert!(seen.insert(k), "key {k} at two owners");
+        }
+    }
+}
+
+#[test]
+fn windowed_count_state_migrates_as_bytes() {
+    let mut sim = sim_with(WindowedCountOperator::factory(1_000_000));
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(15);
+
+    // Pre-migration totals per location (window never rolls over in
+    // this short run, so counts accumulate monotonically).
+    let po = sim.topology().po_by_name("distinct_topics").unwrap();
+    let total_before: u64 = sim
+        .poi_ids(po)
+        .iter()
+        .flat_map(|&p| sim.poi_state(p).values())
+        .filter_map(WindowedCountOperator::decode)
+        .map(|(_, c)| c)
+        .sum();
+    assert!(total_before > 0);
+
+    manager.reconfigure(&mut sim).unwrap();
+    sim.run(30);
+    let total_after: u64 = sim
+        .poi_ids(po)
+        .iter()
+        .flat_map(|&p| sim.poi_state(p).values())
+        .filter_map(WindowedCountOperator::decode)
+        .map(|(_, c)| c)
+        .sum();
+    assert!(
+        total_after > total_before,
+        "windowed counts lost in migration: {total_before} -> {total_after}"
+    );
+    // Migration moved real bytes: the metrics recorded state traffic.
+    let migrated: u64 = sim
+        .metrics()
+        .windows()
+        .iter()
+        .map(|w| w.migrated_states)
+        .sum();
+    assert!(migrated > 0, "expected state migrations");
+}
+
+#[test]
+fn state_value_sizes_drive_migration_bytes() {
+    // HLL state (64 B) migrates more bytes per key than Count (8 B).
+    let run = |factory: streamloc::engine::OperatorFactory| -> (u64, u64) {
+        let mut sim = sim_with(factory);
+        let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(15);
+        manager.reconfigure(&mut sim).unwrap();
+        sim.run(30);
+        let states: u64 = sim
+            .metrics()
+            .windows()
+            .iter()
+            .map(|w| w.migrated_states)
+            .sum();
+        let bytes: u64 = sim
+            .metrics()
+            .windows()
+            .iter()
+            .map(|w| w.migrated_bytes)
+            .sum();
+        (states, bytes)
+    };
+    let (count_states, count_bytes) = run(CountOperator::factory());
+    let (hll_states, hll_bytes) = run(ApproxDistinctOperator::factory(1));
+    assert!(count_states > 0 && hll_states > 0);
+    let per_count = count_bytes as f64 / count_states as f64;
+    let per_hll = hll_bytes as f64 / hll_states as f64;
+    // Both runs also migrate the downstream Count operator's 60 topic
+    // keys (metrics aggregate over all operators), so the 56-byte
+    // state difference on the 9 location keys is diluted — but the
+    // HLL run must still average strictly more bytes per key.
+    assert!(
+        per_hll > per_count + 3.0,
+        "HLL migration should cost more per key: {per_count} vs {per_hll}"
+    );
+}
+
+/// StateValue helpers behave outside the engine too.
+#[test]
+fn state_value_roundtrip() {
+    let mut count = StateValue::Count(0);
+    *count.as_count_mut().unwrap() += 41;
+    assert_eq!(count.as_count(), Some(41));
+    assert_eq!(count.size_bytes(), 8);
+    let bytes = StateValue::Bytes(vec![1, 2, 3]);
+    assert_eq!(bytes.size_bytes(), 3);
+    assert_eq!(bytes.as_count(), None);
+}

@@ -1,0 +1,146 @@
+//! Replay of the drifting Twitter-like stream through the analysis
+//! pipeline (sketch → key graph → partition → routing tables): the
+//! miniature of Fig. 11's online-vs-offline comparison.
+
+use streamloc::engine::{HashRouter, Key, KeyRouter};
+use streamloc::partition::{KeyGraph, MultilevelPartitioner};
+use streamloc::routing::RoutingTable;
+use streamloc::sketch::SpaceSaving;
+use streamloc::workloads::{TwitterConfig, TwitterWorkload};
+
+const SERVERS: usize = 6;
+
+fn workload() -> TwitterWorkload {
+    TwitterWorkload::new(TwitterConfig {
+        locations: 100,
+        hashtags: 5_000,
+        tuples_per_day: 3_000,
+        fresh_per_week: 100,
+        ..TwitterConfig::default()
+    })
+}
+
+fn tables_from(batch: &[(Key, Key)]) -> (RoutingTable, RoutingTable) {
+    let mut sketch = SpaceSaving::new(20_000);
+    for &pair in batch {
+        sketch.offer(pair);
+    }
+    let mut graph = KeyGraph::new();
+    for entry in sketch.iter() {
+        let (loc, tag) = *entry.key;
+        graph.add_pair(loc, tag, entry.count);
+    }
+    let assignment = graph.partition(&MultilevelPartitioner::default(), SERVERS, 1.03, 7);
+    (
+        assignment.left_iter().map(|(&k, p)| (k, p)).collect(),
+        assignment.right_iter().map(|(&k, p)| (k, p)).collect(),
+    )
+}
+
+fn locality(batch: &[(Key, Key)], tables: Option<&(RoutingTable, RoutingTable)>) -> f64 {
+    let local = batch
+        .iter()
+        .filter(|&&(loc, tag)| match tables {
+            Some((l, t)) => l.route(loc, SERVERS) == t.route(tag, SERVERS),
+            None => HashRouter.route(loc, SERVERS) == HashRouter.route(tag, SERVERS),
+        })
+        .count();
+    local as f64 / batch.len() as f64
+}
+
+/// Per-server load imbalance (max/avg) of the downstream hop.
+fn imbalance(batch: &[(Key, Key)], tables: &(RoutingTable, RoutingTable)) -> f64 {
+    let mut loads = [0u64; SERVERS];
+    for &(_, tag) in batch {
+        loads[tables.1.route(tag, SERVERS) as usize] += 1;
+    }
+    let total: u64 = loads.iter().sum();
+    let avg = total as f64 / SERVERS as f64;
+    *loads.iter().max().unwrap() as f64 / avg
+}
+
+#[test]
+fn online_beats_offline_beats_hash() {
+    let mut w = workload();
+    let mut offline = None;
+    let mut online = None;
+    let (mut sum_hash, mut sum_off, mut sum_on) = (0.0, 0.0, 0.0);
+    let weeks = 12;
+    // Weeks 2.. (skip the cold start where neither has tables).
+    for week in 0..weeks {
+        let batch = w.week(week);
+        if week >= 2 {
+            sum_hash += locality(&batch, None);
+            sum_off += locality(&batch, offline.as_ref());
+            sum_on += locality(&batch, online.as_ref());
+        }
+        if week == 0 {
+            offline = Some(tables_from(&batch));
+        }
+        online = Some(tables_from(&batch));
+    }
+    let n = (weeks - 2) as f64;
+    let (hash, off, on) = (sum_hash / n, sum_off / n, sum_on / n);
+    assert!(
+        (hash - 1.0 / SERVERS as f64).abs() < 0.03,
+        "hash locality {hash} should be ~1/{SERVERS}"
+    );
+    assert!(
+        off > hash + 0.1,
+        "offline {off} should clearly beat hash {hash}"
+    );
+    assert!(
+        on > off + 0.08,
+        "online {on} should clearly beat offline {off} on a drifting stream"
+    );
+}
+
+#[test]
+fn offline_decays_over_time() {
+    let mut w = workload();
+    let week0 = w.week(0);
+    let tables = tables_from(&week0);
+    let early = locality(&w.week(1), Some(&tables));
+    let late_avg = (8..11)
+        .map(|wk| locality(&w.week(wk), Some(&tables)))
+        .sum::<f64>()
+        / 3.0;
+    assert!(
+        late_avg < early - 0.08,
+        "offline locality should decay: week1 {early}, weeks 8-10 {late_avg}"
+    );
+}
+
+#[test]
+fn fresh_tables_stay_balanced() {
+    let mut w = workload();
+    for week in [1usize, 5, 9] {
+        let train = w.week(week);
+        let tables = tables_from(&train);
+        let next = w.week(week + 1);
+        let imb = imbalance(&next, &tables);
+        assert!(
+            imb < 1.6,
+            "week {week} tables imbalance {imb} on next week's data"
+        );
+    }
+}
+
+#[test]
+fn stale_tables_unbalance_more_than_fresh_ones() {
+    let mut w = workload();
+    let stale = tables_from(&w.week(0));
+    let mut stale_sum = 0.0;
+    let mut fresh_sum = 0.0;
+    for week in 7..10 {
+        let prev = w.week(week - 1);
+        let fresh = tables_from(&prev);
+        let batch = w.week(week);
+        stale_sum += imbalance(&batch, &stale);
+        fresh_sum += imbalance(&batch, &fresh);
+    }
+    assert!(
+        fresh_sum <= stale_sum + 0.05,
+        "fresh tables ({fresh_sum}) should not be worse balanced than stale ({stale_sum})"
+    );
+}

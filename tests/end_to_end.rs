@@ -1,0 +1,234 @@
+//! End-to-end integration: the full optimize-reconfigure-migrate loop
+//! across sketch, partition, engine and core.
+
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig, Simulation, SourceRate,
+    Topology, Tuple,
+};
+use streamloc::routing::{Manager, ManagerConfig, PartitionerKind};
+
+const SERVERS: usize = 4;
+const KEYS: u64 = 32;
+
+/// Chain with strongly correlated keys: (k, k + KEYS) pairs.
+fn correlated_sim(rate: SourceRate, payload: u32) -> Simulation {
+    let mut builder = Topology::builder();
+    let s = builder.source("S", SERVERS, rate, move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            Some(Tuple::new([Key::new(k), Key::new(k + KEYS)], payload))
+        })
+    });
+    let a = builder.stateful("A", SERVERS, CountOperator::factory());
+    let b = builder.stateful("B", SERVERS, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, SERVERS);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+fn ab_edge(sim: &Simulation) -> streamloc::engine::EdgeId {
+    let a = sim.topology().po_by_name("A").unwrap();
+    let b = sim.topology().po_by_name("B").unwrap();
+    sim.topology().edge_between(a, b).unwrap()
+}
+
+#[test]
+fn locality_and_throughput_improve() {
+    let mut sim = correlated_sim(SourceRate::Saturate, 4096);
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    let edge = ab_edge(&sim);
+
+    sim.run(60);
+    let hash_tput = sim.metrics().avg_throughput(30);
+    let hash_loc = sim.metrics().edge_locality(edge, 30);
+
+    let summary = manager.reconfigure(&mut sim).unwrap();
+    assert!(summary.expected_locality > 0.95);
+    sim.run(60);
+    let skip = 60 + 20;
+    let opt_tput = sim.metrics().avg_throughput(skip);
+    let opt_loc = sim.metrics().edge_locality(edge, skip);
+
+    assert!(
+        opt_loc > hash_loc + 0.3,
+        "locality should jump: {hash_loc} -> {opt_loc}"
+    );
+    assert!(
+        opt_tput > hash_tput * 1.1,
+        "throughput should improve: {hash_tput} -> {opt_tput}"
+    );
+}
+
+#[test]
+fn successive_reconfigurations_conserve_state() {
+    let mut sim = correlated_sim(SourceRate::PerSecond(20_000.0), 0);
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+
+    for _ in 0..3 {
+        sim.run(20);
+        manager.reconfigure(&mut sim).unwrap();
+    }
+    sim.run(40);
+    assert!(!sim.reconfig_active());
+    assert_eq!(sim.pending_migrations(), 0);
+
+    // Sum of per-key counts at B equals tuples processed by B minus
+    // stragglers forwarded between owners mid-migration.
+    let b = sim.topology().po_by_name("B").unwrap();
+    let b_pois = sim.poi_ids(b);
+    let state_total: u64 = b_pois
+        .iter()
+        .flat_map(|&p| sim.poi_state(p).values())
+        .map(|v| v.as_count().unwrap())
+        .sum();
+    let processed: u64 = sim
+        .metrics()
+        .windows()
+        .iter()
+        .map(|w| {
+            b_pois
+                .iter()
+                .map(|p| w.poi_processed[p.index()])
+                .sum::<u64>()
+        })
+        .sum();
+    let forwarded: u64 = sim
+        .metrics()
+        .windows()
+        .iter()
+        .map(|w| w.late_forwarded)
+        .sum();
+    assert_eq!(state_total, processed - forwarded);
+
+    // Each key has exactly one owner, consistent with the last tables.
+    let table = manager.table_for(b).unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for &poi in &b_pois {
+        for &k in sim.poi_state(poi).keys() {
+            assert!(seen.insert(k), "key {k} at two owners");
+            if let Some(instance) = table.get(k) {
+                assert_eq!(
+                    sim.poi_instance(poi) as u32,
+                    instance,
+                    "key {k} not at its table owner"
+                );
+            }
+        }
+    }
+    assert_eq!(seen.len(), KEYS as usize);
+}
+
+#[test]
+fn offline_tables_work_from_cold_start() {
+    // Learn tables in a throwaway run, then install them offline in a
+    // fresh deployment before any tuple flows.
+    let mut warmup = correlated_sim(SourceRate::PerSecond(20_000.0), 0);
+    let mut manager = Manager::attach(&mut warmup, ManagerConfig::default());
+    warmup.run(20);
+    let summary = manager.apply_offline(&mut warmup);
+    assert!(summary.expected_locality > 0.95);
+
+    let mut fresh = correlated_sim(SourceRate::Saturate, 1024);
+    let edge = ab_edge(&fresh);
+    let a = fresh.topology().po_by_name("A").unwrap();
+    let b = fresh.topology().po_by_name("B").unwrap();
+    let s = fresh.topology().po_by_name("S").unwrap();
+    let sa = fresh.topology().edge_between(s, a).unwrap();
+    let table_a = manager.table_for(a).unwrap().clone();
+    let table_b = manager.table_for(b).unwrap().clone();
+    fresh.set_edge_router(sa, std::sync::Arc::new(table_a));
+    fresh.set_edge_router(edge, std::sync::Arc::new(table_b));
+    fresh.run(40);
+    let loc = fresh.metrics().edge_locality(edge, 10);
+    assert!(loc > 0.9, "offline tables should give high locality: {loc}");
+}
+
+#[test]
+fn ablation_partitioners_rank_as_expected() {
+    // Multilevel ≥ greedy ≫ hash in expected locality on the same
+    // statistics.
+    let mut locality = Vec::new();
+    for kind in [
+        PartitionerKind::Multilevel,
+        PartitionerKind::Greedy,
+        PartitionerKind::Hash,
+    ] {
+        let mut sim = correlated_sim(SourceRate::PerSecond(20_000.0), 0);
+        let mut manager = Manager::attach(
+            &mut sim,
+            ManagerConfig {
+                partitioner: kind,
+                ..ManagerConfig::default()
+            },
+        );
+        sim.run(20);
+        let summary = manager.reconfigure(&mut sim).unwrap();
+        locality.push(summary.expected_locality);
+    }
+    assert!(
+        locality[0] >= locality[1] - 1e-9,
+        "multilevel {} < greedy {}",
+        locality[0],
+        locality[1]
+    );
+    assert!(
+        locality[1] > locality[2] + 0.2,
+        "greedy {} not ≫ hash {}",
+        locality[1],
+        locality[2]
+    );
+}
+
+#[test]
+fn finite_stream_drains_through_a_reconfiguration() {
+    let total = 40_000u64;
+    let mut builder = Topology::builder();
+    let s = builder.source("S", SERVERS, SourceRate::Saturate, move |i| {
+        let mut c = i as u64;
+        let mut left = total / SERVERS as u64;
+        Box::new(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            Some(Tuple::new([Key::new(k), Key::new(k + KEYS)], 128))
+        })
+    });
+    let a = builder.stateful("A", SERVERS, CountOperator::factory());
+    let b = builder.stateful("B", SERVERS, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, SERVERS);
+    let mut sim = Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig {
+            max_in_flight: 5_000,
+            ..SimConfig::default()
+        },
+    );
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(3);
+    manager.reconfigure(&mut sim).unwrap();
+    let windows = sim.run_until_drained(10_000);
+    assert!(windows < 10_000, "stream should drain");
+    assert_eq!(sim.metrics().total_emitted(), total);
+    assert_eq!(
+        sim.metrics().total_sink(),
+        total,
+        "every emitted tuple must reach the sink (none lost in migration)"
+    );
+}

@@ -1,0 +1,219 @@
+//! The paper's Fig. 3 deployment: `S →(fields)→ B →(l-o-s)→ C
+//! →(fields)→ D` with B, D stateful and C stateless. The key
+//! correlation to exploit is between B's and D's routing keys; the
+//! stateless local-or-shuffle stage in between preserves the server,
+//! so co-locating those keys keeps the whole B→C→D path in memory.
+
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, IdentityOperator, Key, Placement, SimConfig,
+    Simulation, SourceRate, Topology, Tuple,
+};
+use streamloc::routing::{Manager, ManagerConfig};
+
+const SERVERS: usize = 3;
+const KEYS: u64 = 15;
+
+fn figure3_sim() -> Simulation {
+    let mut builder = Topology::builder();
+    let s = builder.source("S", SERVERS, SourceRate::PerSecond(30_000.0), move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            // field 0 routes into B; field 1 routes into D; perfectly
+            // correlated.
+            Some(Tuple::new([Key::new(k), Key::new(k + KEYS)], 256))
+        })
+    });
+    let b = builder.stateful("B", SERVERS, CountOperator::factory());
+    let c = builder.stateless("C", SERVERS, IdentityOperator::factory());
+    let d = builder.stateful("D", SERVERS, CountOperator::factory());
+    builder.connect(s, b, Grouping::fields(0));
+    builder.connect(b, c, Grouping::LocalOrShuffle);
+    builder.connect(c, d, Grouping::fields(1));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, SERVERS);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+#[test]
+fn manager_sees_the_hop_through_the_stateless_stage() {
+    let mut sim = figure3_sim();
+    let manager = Manager::attach(&mut sim, ManagerConfig::default());
+    assert_eq!(
+        manager.hop_count(),
+        1,
+        "B→(l-o-s C)→D must be discovered as one hop"
+    );
+}
+
+#[test]
+fn whole_path_becomes_local() {
+    let mut sim = figure3_sim();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    let topo = sim.topology();
+    let b = topo.po_by_name("B").unwrap();
+    let c = topo.po_by_name("C").unwrap();
+    let d = topo.po_by_name("D").unwrap();
+    let bc = topo.edge_between(b, c).unwrap();
+    let cd = topo.edge_between(c, d).unwrap();
+
+    sim.run(25);
+    assert!(manager.pairs_observed() > 0, "pairs observed through C");
+    let cd_before = sim.metrics().edge_locality(cd, 5);
+    assert!(
+        cd_before < 0.6,
+        "hash routing into D should be mostly remote: {cd_before}"
+    );
+    // B→C is local by construction (local-or-shuffle).
+    assert!((sim.metrics().edge_locality(bc, 5) - 1.0).abs() < 1e-9);
+
+    let summary = manager.reconfigure(&mut sim).unwrap();
+    assert!(
+        summary.expected_locality > 0.95,
+        "perfect correlation should separate: {summary:?}"
+    );
+    sim.run(50);
+    assert!(!sim.reconfig_active());
+    assert_eq!(sim.pending_migrations(), 0);
+
+    let windows = sim.metrics().windows().len();
+    let cd_after = sim.metrics().edge_locality(cd, windows - 20);
+    assert!(
+        cd_after > 0.95,
+        "C→D should be local after optimization: {cd_after}"
+    );
+    // And B→C stayed local throughout.
+    assert!((sim.metrics().edge_locality(bc, windows - 20) - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn tables_align_b_and_d_keys() {
+    let mut sim = figure3_sim();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(20);
+    manager.reconfigure(&mut sim).unwrap();
+    let topo = sim.topology();
+    let tb = manager.table_for(topo.po_by_name("B").unwrap()).unwrap();
+    let td = manager.table_for(topo.po_by_name("D").unwrap()).unwrap();
+    let mut covered = 0;
+    for k in 0..KEYS {
+        if let (Some(ib), Some(id)) = (tb.get(Key::new(k)), td.get(Key::new(k + KEYS))) {
+            assert_eq!(ib, id, "correlated pair {k} split across servers");
+            covered += 1;
+        }
+    }
+    assert!(covered >= KEYS as usize / 2);
+    // C itself gets no table: it is stateless.
+    assert!(manager.table_for(topo.po_by_name("C").unwrap()).is_none());
+}
+
+#[test]
+fn state_conserved_through_the_stateless_stage() {
+    let mut sim = figure3_sim();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(15);
+    manager.reconfigure(&mut sim).unwrap();
+    sim.run(40);
+    let d = sim.topology().po_by_name("D").unwrap();
+    let d_pois = sim.poi_ids(d);
+    let state_total: u64 = d_pois
+        .iter()
+        .flat_map(|&p| sim.poi_state(p).values())
+        .map(|v| v.as_count().unwrap())
+        .sum();
+    let processed: u64 = sim
+        .metrics()
+        .windows()
+        .iter()
+        .map(|w| {
+            d_pois
+                .iter()
+                .map(|p| w.poi_processed[p.index()])
+                .sum::<u64>()
+        })
+        .sum();
+    let forwarded: u64 = sim
+        .metrics()
+        .windows()
+        .iter()
+        .map(|w| w.late_forwarded)
+        .sum();
+    assert_eq!(state_total, processed - forwarded);
+}
+
+#[test]
+fn stateless_fanout_tracks_both_branches() {
+    // B → (l-o-s) → C, then C fans out to TWO stateful successors on
+    // different fields: both hops share B's out edge, so B's instances
+    // carry two observers on that edge.
+    let mut builder = Topology::builder();
+    let s = builder.source("S", SERVERS, SourceRate::PerSecond(30_000.0), move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            Some(Tuple::new(
+                [Key::new(k), Key::new(k + KEYS), Key::new(k + 2 * KEYS)],
+                128,
+            ))
+        })
+    });
+    let b = builder.stateful("B", SERVERS, CountOperator::factory());
+    let c = builder.stateless("C", SERVERS, IdentityOperator::factory());
+    let d1 = builder.stateful("D1", SERVERS, CountOperator::factory());
+    let d2 = builder.stateful("D2", SERVERS, CountOperator::factory());
+    builder.connect(s, b, Grouping::fields(0));
+    builder.connect(b, c, Grouping::LocalOrShuffle);
+    builder.connect(c, d1, Grouping::fields(1));
+    builder.connect(c, d2, Grouping::fields(2));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, SERVERS);
+    let mut sim = Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    );
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    assert_eq!(manager.hop_count(), 2, "both branches are hops");
+
+    sim.run(25);
+    let summary = manager.reconfigure(&mut sim).unwrap();
+    assert!(summary.expected_locality > 0.95, "{summary:?}");
+    sim.run(50);
+
+    let topo = sim.topology();
+    let tb = manager.table_for(topo.po_by_name("B").unwrap()).unwrap();
+    let t1 = manager.table_for(topo.po_by_name("D1").unwrap()).unwrap();
+    let t2 = manager.table_for(topo.po_by_name("D2").unwrap()).unwrap();
+    assert!(!t1.is_empty() && !t2.is_empty(), "both branches get tables");
+    let mut covered = 0;
+    for k in 0..KEYS {
+        if let (Some(ib), Some(i1), Some(i2)) = (
+            tb.get(Key::new(k)),
+            t1.get(Key::new(k + KEYS)),
+            t2.get(Key::new(k + 2 * KEYS)),
+        ) {
+            assert_eq!(ib, i1, "B/D1 split triple {k}");
+            assert_eq!(ib, i2, "B/D2 split triple {k}");
+            covered += 1;
+        }
+    }
+    assert!(covered >= KEYS as usize / 2, "only {covered} triples covered");
+
+    // Both downstream hops local after optimization.
+    let c_po = topo.po_by_name("C").unwrap();
+    for succ in ["D1", "D2"] {
+        let po = topo.po_by_name(succ).unwrap();
+        let edge = topo.edge_between(c_po, po).unwrap();
+        let windows = sim.metrics().windows().len();
+        let loc = sim.metrics().edge_locality(edge, windows - 20);
+        assert!(loc > 0.95, "branch C→{succ} locality {loc}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based integration tests: across randomized workloads and
+//! cluster shapes, the reconfiguration machinery must never lose a
+//! tuple, duplicate state, or leave a key without a unique owner.
+
+use proptest::prelude::*;
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig, Simulation, SourceRate,
+    Topology, Tuple,
+};
+use streamloc::routing::{Manager, ManagerConfig};
+
+/// A finite correlated-pairs simulation with randomized shape.
+fn build(
+    servers: usize,
+    keys: u64,
+    correlation_pct: u8,
+    payload: u32,
+    total: u64,
+    seed: u64,
+) -> Simulation {
+    let mut builder = Topology::builder();
+    let s = builder.source("S", servers, SourceRate::Saturate, move |i| {
+        let mut c = seed ^ (i as u64) << 32;
+        let mut left = total / servers as u64;
+        Box::new(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            c = c.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let k = (c >> 8) % keys;
+            // With probability correlation_pct, the second key is the
+            // partner of the first; otherwise a random other key.
+            let k2 = if c % 100 < u64::from(correlation_pct) {
+                k + keys
+            } else {
+                keys + (c >> 24) % keys
+            };
+            Some(Tuple::new([Key::new(k), Key::new(k2)], payload))
+        })
+    });
+    let a = builder.stateful("A", servers, CountOperator::factory());
+    let b = builder.stateful("B", servers, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, servers);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(servers),
+        placement,
+        SimConfig {
+            max_in_flight: 20_000,
+            ..SimConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_tuple_lost_across_reconfigurations(
+        servers in 2usize..6,
+        keys in 4u64..64,
+        correlation in 50u8..100,
+        payload in prop::sample::select(vec![0u32, 512, 4096]),
+        seed in any::<u64>(),
+        reconfig_windows in prop::collection::vec(2usize..15, 1..3),
+    ) {
+        let total = 30_000u64;
+        let mut sim = build(servers, keys, correlation, payload, total, seed);
+        let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+        for &at in &reconfig_windows {
+            sim.run(at);
+            // May fail if a wave is still propagating; that is fine.
+            let _ = manager.reconfigure(&mut sim);
+        }
+        let windows = sim.run_until_drained(20_000);
+        prop_assert!(windows < 20_000, "stream failed to drain");
+        let emitted = sim.metrics().total_emitted();
+        prop_assert_eq!(emitted, (total / servers as u64) * servers as u64);
+        prop_assert_eq!(
+            sim.metrics().total_sink(), emitted,
+            "tuples lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn state_matches_stream_exactly_after_drain(
+        servers in 2usize..5,
+        keys in 4u64..32,
+        seed in any::<u64>(),
+    ) {
+        let total = 20_000u64;
+        let mut sim = build(servers, keys, 90, 0, total, seed);
+        let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+        sim.run(4);
+        let _ = manager.reconfigure(&mut sim);
+        sim.run_until_drained(20_000);
+
+        // After draining, B's total state count equals total tuples:
+        // every tuple increments exactly one counter exactly once.
+        let b = sim.topology().po_by_name("B").unwrap();
+        let state_total: u64 = sim
+            .poi_ids(b)
+            .iter()
+            .flat_map(|&p| sim.poi_state(p).values())
+            .map(|v| v.as_count().unwrap())
+            .sum();
+        prop_assert_eq!(state_total, sim.metrics().total_emitted());
+
+        // Unique ownership of every key.
+        let mut seen = std::collections::HashSet::new();
+        for &poi in &sim.poi_ids(b) {
+            for &k in sim.poi_state(poi).keys() {
+                prop_assert!(seen.insert(k), "key {} at two owners", k);
+            }
+        }
+    }
+
+    #[test]
+    fn locality_never_below_hash_after_optimizing(
+        servers in 2usize..6,
+        correlation in 70u8..100,
+        seed in any::<u64>(),
+    ) {
+        let keys = 48u64;
+        let mut sim = build(servers, keys, correlation, 256, 400_000, seed);
+        let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+        let a = sim.topology().po_by_name("A").unwrap();
+        let b = sim.topology().po_by_name("B").unwrap();
+        let edge = sim.topology().edge_between(a, b).unwrap();
+
+        sim.run(30);
+        let hash_loc = sim.metrics().edge_locality(edge, 10);
+        if manager.reconfigure(&mut sim).is_ok() {
+            sim.run(40);
+            let opt_loc = sim.metrics().edge_locality(edge, 40);
+            prop_assert!(
+                opt_loc + 0.05 >= hash_loc,
+                "optimized locality {} worse than hash {}",
+                opt_loc, hash_loc
+            );
+        }
+    }
+}

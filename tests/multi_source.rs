@@ -1,0 +1,100 @@
+//! Multiple sources feeding one stateful operator (a union): the
+//! engine must merge the streams, keep single key ownership, and the
+//! manager must still optimize the downstream hop.
+
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig, Simulation, SourceRate,
+    Topology, Tuple,
+};
+use streamloc::routing::{Manager, ManagerConfig};
+
+const SERVERS: usize = 3;
+const KEYS: u64 = 9;
+const PER_SOURCE: u64 = 9_000;
+
+fn union_sim() -> Simulation {
+    let mut b = Topology::builder();
+    // Two independent feeds (e.g. two data centers' crawlers) with
+    // the same schema, both routed on field 0 into the union counter.
+    let make_source = |salt: u64| {
+        move |i: usize| -> Box<dyn streamloc::engine::TupleSource> {
+            let mut c = salt ^ (i as u64) << 32;
+            let mut left = PER_SOURCE / SERVERS as u64;
+            Box::new(move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                c = c.wrapping_add(0x9e37_79b9);
+                let k = c % KEYS;
+                Some(Tuple::new([Key::new(k), Key::new(k + KEYS)], 64))
+            })
+        }
+    };
+    let s1 = b.source("crawler_a", SERVERS, SourceRate::Saturate, make_source(0x11));
+    let s2 = b.source("crawler_b", SERVERS, SourceRate::Saturate, make_source(0x22));
+    let union = b.stateful("union_count", SERVERS, CountOperator::factory());
+    let by_tag = b.stateful("by_tag", SERVERS, CountOperator::factory());
+    b.connect(s1, union, Grouping::fields(0));
+    b.connect(s2, union, Grouping::fields(0));
+    b.connect(union, by_tag, Grouping::fields(1));
+    let topo = b.build().unwrap();
+    let placement = Placement::aligned(&topo, SERVERS);
+    Simulation::new(
+        topo,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+#[test]
+fn union_counts_both_feeds_exactly() {
+    let mut sim = union_sim();
+    let windows = sim.run_until_drained(10_000);
+    assert!(windows < 10_000);
+    let expected = 2 * (PER_SOURCE / SERVERS as u64) * SERVERS as u64;
+    assert_eq!(sim.metrics().total_emitted(), expected);
+    let union = sim.topology().po_by_name("union_count").unwrap();
+    let total: u64 = sim
+        .poi_ids(union)
+        .iter()
+        .flat_map(|&p| sim.poi_state(p).values())
+        .map(|v| v.as_count().unwrap())
+        .sum();
+    assert_eq!(total, expected);
+    // Still one owner per key despite two upstream feeds.
+    let mut seen = std::collections::HashSet::new();
+    for poi in sim.poi_ids(union) {
+        for &k in sim.poi_state(poi).keys() {
+            assert!(seen.insert(k));
+        }
+    }
+    assert_eq!(seen.len(), KEYS as usize);
+}
+
+#[test]
+fn manager_optimizes_downstream_of_a_union() {
+    let mut sim = union_sim();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    assert_eq!(manager.hop_count(), 1, "union→by_tag is the hop");
+    sim.run(10);
+    let summary = manager.reconfigure(&mut sim).unwrap();
+    assert!(summary.expected_locality > 0.95, "{summary:?}");
+    // Both fields in-edges of the union get the same new table: every
+    // sender instance of both sources routes identically afterwards.
+    let topo = sim.topology();
+    let union = topo.po_by_name("union_count").unwrap();
+    let s1 = topo.po_by_name("crawler_a").unwrap();
+    let s2 = topo.po_by_name("crawler_b").unwrap();
+    let e1 = topo.edge_between(s1, union).unwrap();
+    let e2 = topo.edge_between(s2, union).unwrap();
+    sim.run(15);
+    for k in 0..KEYS {
+        let via_a = sim.current_route(sim.poi_ids(s1)[0], e1, Key::new(k));
+        let via_b = sim.current_route(sim.poi_ids(s2)[0], e2, Key::new(k));
+        assert_eq!(via_a, via_b, "feeds disagree on key {k}");
+    }
+    sim.run_until_drained(10_000);
+    assert_eq!(sim.pending_migrations(), 0);
+}

@@ -1,0 +1,105 @@
+//! Fault-tolerance integration: the manager persists configurations
+//! before reconfiguring and a restarted manager restores the last one
+//! (paper §3.4).
+
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig, Simulation, SourceRate,
+    Topology, Tuple,
+};
+use streamloc::routing::{ConfigStore, Manager, ManagerConfig, MemoryStore};
+
+const SERVERS: usize = 3;
+const KEYS: u64 = 12;
+
+fn correlated_sim() -> Simulation {
+    let mut b = Topology::builder();
+    let s = b.source("S", SERVERS, SourceRate::PerSecond(20_000.0), move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            Some(Tuple::new([Key::new(k), Key::new(k + KEYS)], 64))
+        })
+    });
+    let a = b.stateful("A", SERVERS, CountOperator::factory());
+    let bb = b.stateful("B", SERVERS, CountOperator::factory());
+    b.connect(s, a, Grouping::fields(0));
+    b.connect(a, bb, Grouping::fields(1));
+    let topo = b.build().unwrap();
+    let placement = Placement::aligned(&topo, SERVERS);
+    Simulation::new(
+        topo,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+#[test]
+fn save_restore_roundtrip_preserves_locality() {
+    let mut store = MemoryStore::new();
+
+    // "First process life": optimize, persist, note locality.
+    let mut sim = correlated_sim();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(15);
+    manager.reconfigure(&mut sim).unwrap();
+    sim.run(20);
+    store
+        .save(1, &manager.snapshot_configuration(&sim))
+        .unwrap();
+
+    let a = sim.topology().po_by_name("A").unwrap();
+    let b = sim.topology().po_by_name("B").unwrap();
+    let edge = sim.topology().edge_between(a, b).unwrap();
+    let windows = sim.metrics().windows().len();
+    let locality_before = sim.metrics().edge_locality(edge, windows - 10);
+    assert!(locality_before > 0.9);
+
+    // "Restart": a fresh deployment and manager restore the snapshot
+    // without having observed any statistics.
+    let mut sim2 = correlated_sim();
+    let mut manager2 = Manager::attach(&mut sim2, ManagerConfig::default());
+    let (epoch, config) = store.load_latest().unwrap().expect("saved snapshot");
+    assert_eq!(epoch, 1);
+    assert_eq!(config.len(), 2);
+    manager2.restore_configuration(&mut sim2, &config);
+
+    sim2.run(30);
+    let a2 = sim2.topology().po_by_name("A").unwrap();
+    let b2 = sim2.topology().po_by_name("B").unwrap();
+    let edge2 = sim2.topology().edge_between(a2, b2).unwrap();
+    let restored_locality = sim2.metrics().edge_locality(edge2, 10);
+    assert!(
+        restored_locality > 0.9,
+        "restored tables should give the same locality: {restored_locality}"
+    );
+    // And the restored tables are literally the saved ones.
+    assert_eq!(
+        manager2.table_for(a2).map(|t| t.len()),
+        config.table("A").map(streamloc::routing::RoutingTable::len)
+    );
+}
+
+#[test]
+fn snapshot_before_reconfigure_is_empty_tables() {
+    let mut sim = correlated_sim();
+    let manager = Manager::attach(&mut sim, ManagerConfig::default());
+    let snapshot = manager.snapshot_configuration(&sim);
+    assert_eq!(snapshot.len(), 2, "one (empty) table per routed operator");
+    assert!(snapshot.iter().all(|(_, t)| t.is_empty()));
+}
+
+#[test]
+fn restore_ignores_unknown_operators() {
+    let mut sim = correlated_sim();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    let mut config = streamloc::routing::SavedConfiguration::new();
+    config.insert(
+        "no_such_operator",
+        streamloc::routing::RoutingTable::from_assignments([(Key::new(1), 0)]),
+    );
+    manager.restore_configuration(&mut sim, &config);
+    sim.run(5);
+    assert!(sim.metrics().total_sink() > 0, "restore must not break routing");
+}

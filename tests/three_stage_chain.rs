@@ -1,0 +1,134 @@
+//! The manager on a longer chain: three consecutive stateful
+//! operators (two instrumented hops, jointly partitioned).
+//!
+//! The paper evaluates a two-operator chain but the formulation
+//! extends to longer chains (§6: "the same graph partitioning
+//! technique can be applied to more complex DAGs"); this test pins
+//! that the joint key graph keeps all three key spaces aligned.
+
+use streamloc::engine::{
+    ClusterSpec, CountOperator, Grouping, Key, Placement, SimConfig, Simulation, SourceRate,
+    Topology, Tuple,
+};
+use streamloc::routing::{Manager, ManagerConfig};
+
+const SERVERS: usize = 3;
+const KEYS: u64 = 24;
+
+fn chain3() -> Simulation {
+    let mut builder = Topology::builder();
+    let s = builder.source("S", SERVERS, SourceRate::PerSecond(30_000.0), move |i| {
+        let mut c = i as u64;
+        Box::new(move || {
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            // Three perfectly correlated key spaces.
+            Some(Tuple::new(
+                [Key::new(k), Key::new(k + KEYS), Key::new(k + 2 * KEYS)],
+                256,
+            ))
+        })
+    });
+    let a = builder.stateful("A", SERVERS, CountOperator::factory());
+    let b = builder.stateful("B", SERVERS, CountOperator::factory());
+    let c = builder.stateful("C", SERVERS, CountOperator::factory());
+    builder.connect(s, a, Grouping::fields(0));
+    builder.connect(a, b, Grouping::fields(1));
+    builder.connect(b, c, Grouping::fields(2));
+    let topology = builder.build().unwrap();
+    let placement = Placement::aligned(&topology, SERVERS);
+    Simulation::new(
+        topology,
+        ClusterSpec::lan_10g(SERVERS),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+#[test]
+fn manager_instruments_both_hops() {
+    let mut sim = chain3();
+    let manager = Manager::attach(&mut sim, ManagerConfig::default());
+    assert_eq!(manager.hop_count(), 2);
+}
+
+#[test]
+fn joint_partition_aligns_all_three_stages() {
+    let mut sim = chain3();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(30);
+    let summary = manager.reconfigure(&mut sim).unwrap();
+    assert!(
+        summary.expected_locality > 0.95,
+        "joint graph should be fully separable: {summary:?}"
+    );
+    sim.run(60);
+    assert!(!sim.reconfig_active());
+    assert_eq!(sim.pending_migrations(), 0);
+
+    let topo = sim.topology();
+    let a = topo.po_by_name("A").unwrap();
+    let b = topo.po_by_name("B").unwrap();
+    let c = topo.po_by_name("C").unwrap();
+    let ab = topo.edge_between(a, b).unwrap();
+    let bc = topo.edge_between(b, c).unwrap();
+    let windows = sim.metrics().windows();
+    let skip = windows.len() - 20;
+    for edge in [ab, bc] {
+        let loc = sim.metrics().edge_locality(edge, skip);
+        assert!(loc > 0.95, "edge {edge:?} locality {loc} after reconfig");
+    }
+
+    // The three tables agree per correlated triple.
+    let ta = manager.table_for(a).unwrap();
+    let tb = manager.table_for(b).unwrap();
+    let tc = manager.table_for(c).unwrap();
+    let mut covered = 0;
+    for k in 0..KEYS {
+        if let (Some(ia), Some(ib), Some(ic)) = (
+            ta.get(Key::new(k)),
+            tb.get(Key::new(k + KEYS)),
+            tc.get(Key::new(k + 2 * KEYS)),
+        ) {
+            assert_eq!(ia, ib, "A/B disagree on triple {k}");
+            assert_eq!(ib, ic, "B/C disagree on triple {k}");
+            covered += 1;
+        }
+    }
+    assert!(covered >= KEYS as usize / 2, "tables cover too few triples");
+}
+
+#[test]
+fn state_conserved_on_all_three_stages() {
+    let mut sim = chain3();
+    let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(20);
+    manager.reconfigure(&mut sim).unwrap();
+    sim.run(40);
+
+    let forwarded: u64 = sim
+        .metrics()
+        .windows()
+        .iter()
+        .map(|w| w.late_forwarded)
+        .sum();
+    for name in ["A", "B", "C"] {
+        let po = sim.topology().po_by_name(name).unwrap();
+        let pois = sim.poi_ids(po);
+        let state: u64 = pois
+            .iter()
+            .flat_map(|&p| sim.poi_state(p).values())
+            .map(|v| v.as_count().unwrap())
+            .sum();
+        let processed: u64 = sim
+            .metrics()
+            .windows()
+            .iter()
+            .map(|w| pois.iter().map(|p| w.poi_processed[p.index()]).sum::<u64>())
+            .sum();
+        assert!(
+            state + forwarded >= processed && state <= processed,
+            "{name}: state {state} vs processed {processed} (forwarded {forwarded})"
+        );
+    }
+}
