@@ -350,11 +350,17 @@ impl Manager {
     /// # Errors
     ///
     /// Returns [`ReconfigInProgress`] (leaving statistics intact) if
-    /// the previous wave has not finished.
+    /// the previous wave has not finished, or if the manager process
+    /// is down ([`Simulation::manager_down`]) — a degraded deployment
+    /// keeps routing by hash and cannot be reconfigured until
+    /// [`Simulation::revive_manager`] is called.
     pub fn reconfigure(
         &mut self,
         sim: &mut Simulation,
     ) -> Result<ReconfigSummary, ReconfigInProgress> {
+        if sim.manager_down() {
+            return Err(ReconfigInProgress);
+        }
         let (summary, plan) = self.compute(sim);
         sim.start_reconfiguration(plan)?;
         self.charge_metrics_upload(sim);
@@ -389,12 +395,16 @@ impl Manager {
     ///
     /// # Errors
     ///
-    /// Returns [`ReconfigInProgress`] if a wave is still running.
+    /// Returns [`ReconfigInProgress`] if a wave is still running or
+    /// the manager process is down (see [`Manager::reconfigure`]).
     pub fn reconfigure_if_beneficial(
         &mut self,
         sim: &mut Simulation,
         policy: ReconfigPolicy,
     ) -> Result<Option<ReconfigSummary>, ReconfigInProgress> {
+        if sim.manager_down() {
+            return Err(ReconfigInProgress);
+        }
         let (summary, plan) = self.compute(sim);
         if summary.locality_gain() < policy.min_locality_gain
             && summary.imbalance_gain() < policy.min_imbalance_gain

@@ -53,6 +53,32 @@ impl ClusterCheckpoint {
     pub fn total_keys(&self) -> usize {
         self.states.iter().map(HashMap::len).sum()
     }
+
+    /// Deterministic fingerprint of the captured routing tables: for
+    /// every instance and every captured fields edge, where keys
+    /// `0..keys` would route among `parallelism` destinations. Two
+    /// checkpoints with equal fingerprints route identically — the
+    /// comparison tests use to verify an aborted wave reverted every
+    /// table.
+    #[must_use]
+    pub fn router_fingerprint(&self, keys: u64, parallelism: usize) -> Vec<Vec<(EdgeId, Vec<u32>)>> {
+        self.routers
+            .iter()
+            .map(|per_poi| {
+                per_poi
+                    .iter()
+                    .map(|(edge, router)| {
+                        (
+                            *edge,
+                            (0..keys)
+                                .map(|k| router.route(Key::new(k), parallelism))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 /// Error returned by [`Simulation::checkpoint`] and

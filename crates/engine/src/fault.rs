@@ -1,0 +1,344 @@
+//! Deterministic, seedable fault injection for the engine.
+//!
+//! The paper (§3.4) delegates crash recovery to the streaming engine;
+//! this module provides the machinery to *test* that delegation: a
+//! [`FaultPlan`] describes a reproducible schedule of failures — POI
+//! crashes, dropped or delayed control messages, manager death — and a
+//! [`FaultInjector`] executes it against either runtime. The same plan
+//! (or the same seed, via [`FaultPlan::random`]) always produces the
+//! same failures at the same points of the protocol, so every recovery
+//! path has a deterministic regression test.
+//!
+//! Faults are expressed in protocol terms, not in wall-clock terms:
+//!
+//! * [`FaultEvent::CrashPoi`] kills one operator instance at a given
+//!   simulation window; the engine respawns it from the last
+//!   checkpoint (see [`Simulation::set_auto_checkpoint`]).
+//! * [`FaultEvent::DropControl`] / [`FaultEvent::DelayControl`] hit
+//!   the *n*-th control message of a class (③ `SEND_RECONF`,
+//!   ⑤ `PROPAGATE`, ⑥ `MIGRATE`), counted per class over the run.
+//! * [`FaultEvent::KillManager`] makes the manager unreachable from a
+//!   given window on: active waves can no longer complete and the
+//!   deployment degrades to pure hash routing.
+//!
+//! [`Simulation::set_auto_checkpoint`]: crate::Simulation::set_auto_checkpoint
+
+use crate::key::splitmix64;
+
+/// The class of a control-plane message, as seen by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlClass {
+    /// ③ `SEND_RECONF`: a staged configuration sent to one POI.
+    SendReconf,
+    /// ⑤ `PROPAGATE`: a wave-release token between POIs.
+    Propagate,
+    /// ⑥ `MIGRATE`: one key's state in transit to its new owner.
+    Migrate,
+}
+
+impl ControlClass {
+    fn index(self) -> usize {
+        match self {
+            ControlClass::SendReconf => 0,
+            ControlClass::Propagate => 1,
+            ControlClass::Migrate => 2,
+        }
+    }
+}
+
+/// One scheduled failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Crash the POI with global instance index `poi` at `window`. The
+    /// instance loses its keyed state, input queue and buffered
+    /// tuples, then respawns from the last checkpoint (empty state if
+    /// none was taken). Crashed *source* instances stay down: a
+    /// restarted generator would re-emit its stream from the start.
+    CrashPoi {
+        /// Global instance index (see [`Simulation::poi_ids`]).
+        ///
+        /// [`Simulation::poi_ids`]: crate::Simulation::poi_ids
+        poi: usize,
+        /// Simulation window at which the crash fires.
+        window: u64,
+    },
+    /// Drop the `occurrence`-th message of `class` (0-based, counted
+    /// over the whole run).
+    DropControl {
+        /// Message class the drop applies to.
+        class: ControlClass,
+        /// Which message of that class to drop (0-based).
+        occurrence: u64,
+    },
+    /// Delay the `occurrence`-th message of `class` by `windows`
+    /// windows instead of delivering it on time.
+    DelayControl {
+        /// Message class the delay applies to.
+        class: ControlClass,
+        /// Which message of that class to delay (0-based).
+        occurrence: u64,
+        /// Delivery delay, in windows.
+        windows: u64,
+    },
+    /// Make the manager unreachable from `window` on. Any running wave
+    /// can no longer be completed or retried; the deployment degrades
+    /// to pure hash routing once the wave's deadline expires.
+    KillManager {
+        /// Simulation window at which the manager dies.
+        window: u64,
+    },
+}
+
+/// A reproducible schedule of failures.
+///
+/// Build one explicitly with [`FaultPlan::with`], or derive one from a
+/// seed with [`FaultPlan::random`] — the same seed always yields the
+/// same plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `event` to the plan (builder style).
+    #[must_use]
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The scheduled events, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Derives a plan from `seed`: a few POI crashes spread over
+    /// `0..horizon` windows, a handful of control-message drops and
+    /// delays, and (for roughly one seed in eight) a manager kill.
+    /// Deterministic: the same `(seed, pois, horizon)` always yields
+    /// the same plan.
+    #[must_use]
+    pub fn random(seed: u64, pois: usize, horizon: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(state)
+        };
+        let pois = pois.max(1) as u64;
+        let horizon = horizon.max(2);
+        let mut plan = FaultPlan::new();
+        let crashes = 1 + next() % 2;
+        for _ in 0..crashes {
+            plan.events.push(FaultEvent::CrashPoi {
+                poi: (next() % pois) as usize,
+                window: 1 + next() % (horizon - 1),
+            });
+        }
+        let drops = next() % 3;
+        for _ in 0..drops {
+            plan.events.push(FaultEvent::DropControl {
+                class: CLASSES[(next() % 3) as usize],
+                occurrence: next() % 4,
+            });
+        }
+        let delays = next() % 3;
+        for _ in 0..delays {
+            plan.events.push(FaultEvent::DelayControl {
+                class: CLASSES[(next() % 3) as usize],
+                occurrence: next() % 4,
+                windows: 1 + next() % 4,
+            });
+        }
+        if next() % 8 == 0 {
+            plan.events.push(FaultEvent::KillManager {
+                window: 1 + next() % (horizon - 1),
+            });
+        }
+        plan
+    }
+}
+
+const CLASSES: [ControlClass; 3] = [
+    ControlClass::SendReconf,
+    ControlClass::Propagate,
+    ControlClass::Migrate,
+];
+
+/// What the injector decided about one control message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlFate {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the message (it is lost on the wire).
+    Drop,
+    /// Deliver the message late, after this many windows.
+    Delay(u64),
+}
+
+/// Executes a [`FaultPlan`] against a runtime: the runtime asks it
+/// which crashes are due each window and what to do with each control
+/// message, and the injector answers deterministically from the plan.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+    used: Vec<bool>,
+    /// Per-class control-message counters (SendReconf, Propagate,
+    /// Migrate).
+    seen: [u64; 3],
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let used = vec![false; plan.events.len()];
+        Self {
+            events: plan.events,
+            used,
+            seen: [0; 3],
+        }
+    }
+
+    /// Global instance indices whose crash is due at or before
+    /// `window`, each reported exactly once, in ascending order.
+    pub fn poi_crashes_due(&mut self, window: u64) -> Vec<usize> {
+        let mut due = Vec::new();
+        for (i, event) in self.events.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            if let FaultEvent::CrashPoi { poi, window: w } = *event {
+                if w <= window {
+                    self.used[i] = true;
+                    due.push(poi);
+                }
+            }
+        }
+        due.sort_unstable();
+        due.dedup();
+        due
+    }
+
+    /// `true` exactly once, at the first call with `window` at or past
+    /// a scheduled [`FaultEvent::KillManager`].
+    pub fn manager_kill_due(&mut self, window: u64) -> bool {
+        for (i, event) in self.events.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            if let FaultEvent::KillManager { window: w } = *event {
+                if w <= window {
+                    self.used[i] = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Decides the fate of the next control message of `class`. Every
+    /// call advances that class's occurrence counter, whether or not a
+    /// fault matches.
+    pub fn on_control(&mut self, class: ControlClass) -> ControlFate {
+        let occurrence = self.seen[class.index()];
+        self.seen[class.index()] += 1;
+        for (i, event) in self.events.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            match *event {
+                FaultEvent::DropControl {
+                    class: c,
+                    occurrence: o,
+                } if c == class && o == occurrence => {
+                    self.used[i] = true;
+                    return ControlFate::Drop;
+                }
+                FaultEvent::DelayControl {
+                    class: c,
+                    occurrence: o,
+                    windows,
+                } if c == class && o == occurrence => {
+                    self.used[i] = true;
+                    return ControlFate::Delay(windows.max(1));
+                }
+                _ => {}
+            }
+        }
+        ControlFate::Deliver
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::random(42, 6, 30);
+        let b = FaultPlan::random(42, 6, 30);
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty());
+        let c = FaultPlan::random(43, 6, 30);
+        assert_ne!(a, c, "different seeds should differ (for these seeds)");
+    }
+
+    #[test]
+    fn drop_matches_exact_occurrence() {
+        let plan = FaultPlan::new().with(FaultEvent::DropControl {
+            class: ControlClass::Migrate,
+            occurrence: 1,
+        });
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.on_control(ControlClass::Migrate), ControlFate::Deliver);
+        // A different class does not advance Migrate's counter.
+        assert_eq!(
+            inj.on_control(ControlClass::Propagate),
+            ControlFate::Deliver
+        );
+        assert_eq!(inj.on_control(ControlClass::Migrate), ControlFate::Drop);
+        // The event is consumed: the next occurrence delivers.
+        assert_eq!(inj.on_control(ControlClass::Migrate), ControlFate::Deliver);
+    }
+
+    #[test]
+    fn crash_fires_once_even_if_polled_late() {
+        let plan = FaultPlan::new()
+            .with(FaultEvent::CrashPoi { poi: 3, window: 5 })
+            .with(FaultEvent::CrashPoi { poi: 1, window: 5 });
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.poi_crashes_due(4).is_empty());
+        assert_eq!(inj.poi_crashes_due(7), vec![1, 3]);
+        assert!(inj.poi_crashes_due(8).is_empty());
+    }
+
+    #[test]
+    fn manager_kill_fires_once() {
+        let plan = FaultPlan::new().with(FaultEvent::KillManager { window: 2 });
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.manager_kill_due(1));
+        assert!(inj.manager_kill_due(2));
+        assert!(!inj.manager_kill_due(3));
+    }
+
+    #[test]
+    fn delay_is_at_least_one_window() {
+        let plan = FaultPlan::new().with(FaultEvent::DelayControl {
+            class: ControlClass::SendReconf,
+            occurrence: 0,
+            windows: 0,
+        });
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(
+            inj.on_control(ControlClass::SendReconf),
+            ControlFate::Delay(1)
+        );
+    }
+}

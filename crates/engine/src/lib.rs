@@ -60,6 +60,7 @@
 
 mod checkpoint;
 mod cluster;
+mod fault;
 mod key;
 mod live;
 mod metrics;
@@ -73,6 +74,7 @@ mod tuple;
 
 pub use checkpoint::{CheckpointError, ClusterCheckpoint};
 pub use cluster::ClusterSpec;
+pub use fault::{ControlClass, ControlFate, FaultEvent, FaultInjector, FaultPlan};
 pub use key::{splitmix64, Key, KeyInterner};
 pub use live::{InstanceReport, LiveConfig, LiveObserver, LiveReconfig, LiveRuntime};
 pub use metrics::{EdgeWindowStats, MetricsLog, WindowMetrics};
@@ -80,7 +82,7 @@ pub use operator::{
     CountOperator, FnOperator, IdentityOperator, OpContext, Operator, OperatorFactory, StateValue,
 };
 pub use operators_ext::{ApproxDistinctOperator, WindowedCountOperator};
-pub use reconfig::{ReconfigInProgress, ReconfigPlan};
+pub use reconfig::{ReconfigError, ReconfigInProgress, ReconfigPlan, WaveConfig};
 pub use router::{
     HashRouter, KeyRouter, ModuloRouter, PartialKeyRouter, PermutationRouter, ShiftedRouter,
 };

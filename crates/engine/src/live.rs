@@ -21,15 +21,20 @@
 //! [`LiveRuntime::join`] returns exactly when the pipeline has fully
 //! drained.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 
+use crate::checkpoint::ClusterCheckpoint;
+use crate::fault::{ControlClass, ControlFate, FaultInjector, FaultPlan};
 use crate::key::Key;
 use crate::operator::{OpContext, Operator, StateValue};
+use crate::reconfig::{ReconfigError, WaveConfig};
 
 /// Per-edge router updates carried by a `Reconf` message.
 type RouterUpdates = Vec<(EdgeId, Arc<dyn KeyRouter>)>;
@@ -61,16 +66,28 @@ enum Msg {
     Eos,
     /// Snapshot request: reply with a clone of the keyed state.
     StateProbe(Sender<HashMap<Key, StateValue>>),
+    /// Wave recovery: apply the staged configuration *now*, without
+    /// waiting for the remaining predecessor propagates (the manager
+    /// resends this when ⑤ messages were lost and the wave deadline
+    /// expired).
+    ForceApply,
+    /// Fault injection: the instance "crashes" — keyed state, queued
+    /// messages and any staged wave configuration are lost — then
+    /// respawns with the carried checkpoint state.
+    Crash {
+        restore: HashMap<Key, StateValue>,
+    },
 }
 
-/// Worker → coordinator notifications.
+/// Worker → coordinator notifications, tagged with the worker's global
+/// instance index so retries and duplicates never double count.
 enum CoordMsg {
     /// ④ An instance staged its new configuration.
-    Ack,
+    Ack(usize),
     /// An instance applied its configuration and forwarded the wave.
-    Applied,
+    Applied(usize),
     /// An instance shut down (its `Eos` tokens are out).
-    Exited,
+    Exited(usize),
 }
 
 /// Per-edge transfer counters shared with the caller.
@@ -153,6 +170,9 @@ struct WorkerShared {
     outs: Vec<Vec<OutInfo>>,
     parallelism: Vec<usize>,
     poi_base: Vec<usize>,
+    /// Fault injector consulted for every control message: ③/⑤ by the
+    /// wave driver, ⑥ by the sending worker.
+    fault: Mutex<Option<FaultInjector>>,
 }
 
 /// Per-worker context threaded through the routing helper.
@@ -246,6 +266,8 @@ pub struct LiveRuntime {
     coord_rx: Receiver<CoordMsg>,
     roots: Vec<usize>,
     n_instances: usize,
+    last_checkpoint: Option<ClusterCheckpoint>,
+    checkpoint_seq: u64,
 }
 
 impl std::fmt::Debug for LiveRuntime {
@@ -323,7 +345,11 @@ impl LiveRuntime {
                 server.push(tag);
             }
         }
-        let (coord_tx, coord_rx) = unbounded();
+        // Bounded: per wave attempt a worker sends at most one Ack and
+        // one Applied, plus one lifetime Exited; with the default retry
+        // budget this capacity is never reached, so workers never block
+        // on coordinator notifications.
+        let (coord_tx, coord_rx) = bounded(8 * n_instances + 16);
 
         let mut outs: Vec<Vec<OutInfo>> = Vec::with_capacity(n_pos);
         for po_idx in 0..n_pos {
@@ -396,6 +422,7 @@ impl LiveRuntime {
             outs,
             parallelism: parallelism.clone(),
             poi_base: poi_base.clone(),
+            fault: Mutex::new(None),
         });
 
         type ObserverEntry = (EdgeId, usize, Box<dyn PairObserver>);
@@ -454,6 +481,8 @@ impl LiveRuntime {
             coord_rx,
             roots,
             n_instances,
+            last_checkpoint: None,
+            checkpoint_seq: 0,
         }
     }
 
@@ -497,59 +526,278 @@ impl LiveRuntime {
     /// tables. Data keeps flowing throughout; tuples for keys whose
     /// state is still in flight are buffered at their new owner.
     ///
+    /// Equivalent to [`reconfigure_with_deadline`] with the default
+    /// [`WaveConfig`].
+    ///
+    /// [`reconfigure_with_deadline`]: Self::reconfigure_with_deadline
+    ///
     /// # Panics
     ///
-    /// Panics if the pipeline drains (sources exhaust and instances
-    /// shut down) while the wave is still propagating — reconfiguring
-    /// a stream that is ending is a caller bug.
+    /// Panics if the wave fails — e.g. the pipeline drains (sources
+    /// exhaust and instances shut down) while the wave is still
+    /// propagating, or the deadline and every retry are exhausted.
     pub fn reconfigure(&self, plan: LiveReconfig) {
+        if let Err(e) = self.reconfigure_with_deadline(plan, WaveConfig::default()) {
+            panic!("live reconfiguration failed: {e}");
+        }
+    }
+
+    /// What the injector (if armed) decides about one control message.
+    fn control_fate(&self, class: ControlClass) -> ControlFate {
+        self.shared
+            .fault
+            .lock()
+            .as_mut()
+            .map_or(ControlFate::Deliver, |inj| inj.on_control(class))
+    }
+
+    /// Runs the reconfiguration wave under a deadline with bounded
+    /// retries, the live runtime's failure-recovery protocol:
+    ///
+    /// * ③ `SEND_RECONF` messages that get lost (fault injection, dead
+    ///   instance) are detected by the wave missing its per-attempt
+    ///   deadline and resent on the next attempt — instances that
+    ///   already applied are left alone.
+    /// * ⑤ `PROPAGATE` losses are recovered by resending the staged
+    ///   configuration and then force-applying it directly at each
+    ///   straggler, which re-forwards the wave downstream.
+    /// * An instance that exits (or whose inbox is gone) counts as
+    ///   done — its `Eos` tokens are out and it holds no state the
+    ///   wave could move — but the wave reports
+    ///   [`ReconfigError::Nack`] since it could not complete as sent.
+    ///
+    /// One "window" of [`WaveConfig::deadline_windows`] is interpreted
+    /// as 100 ms here; retry `k` gets `deadline × backoff^k`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReconfigError::Timeout`] when the deadline and every retry
+    /// are exhausted with instances still unapplied;
+    /// [`ReconfigError::Nack`] when the wave completed but one or more
+    /// participants had exited mid-wave.
+    pub fn reconfigure_with_deadline(
+        &self,
+        plan: LiveReconfig,
+        wave: WaveConfig,
+    ) -> Result<(), ReconfigError> {
         let n = self.n_instances;
+        // Pre-split the plan per instance so retries can resend it.
         let mut routers: Vec<RouterUpdates> = vec![Vec::new(); n];
-        for (po, edge, router) in plan.routers {
+        for (po, edge, router) in &plan.routers {
             let base = self.shared.poi_base[po.index()];
             for i in 0..self.shared.parallelism[po.index()] {
-                routers[base + i].push((edge, Arc::clone(&router)));
+                routers[base + i].push((*edge, Arc::clone(router)));
             }
         }
         let mut send: Vec<Vec<(Key, usize)>> = vec![Vec::new(); n];
         let mut receive: Vec<Vec<Key>> = vec![Vec::new(); n];
-        for (po, key, old, new) in plan.migrations {
+        for &(po, key, old, new) in &plan.migrations {
             let base = self.shared.poi_base[po.index()];
             send[base + old].push((key, base + new));
             receive[base + new].push(key);
         }
-        // ③ stage everywhere.
-        for idx in (0..n).rev() {
-            let _ = self.shared.inboxes[idx].send(Msg::Reconf {
-                routers: std::mem::take(&mut routers[idx]),
-                send: std::mem::take(&mut send[idx]),
-                receive: std::mem::take(&mut receive[idx]),
-            });
-        }
-        // ④ collect all acks before releasing the wave.
-        let (mut acks, mut applied) = (0, 0);
-        while acks < n {
-            match self.coord_rx.recv().expect("workers alive") {
-                CoordMsg::Ack => acks += 1,
-                CoordMsg::Applied => applied += 1,
-                CoordMsg::Exited => {
-                    panic!("pipeline drained during reconfiguration (stage phase)")
-                }
+
+        let mut acked: HashSet<usize> = HashSet::new();
+        let mut applied: HashSet<usize> = HashSet::new();
+        let mut exited: HashSet<usize> = HashSet::new();
+        // Discard coordinator leftovers of earlier waves; exits are
+        // permanent and kept.
+        while let Ok(msg) = self.coord_rx.try_recv() {
+            if let CoordMsg::Exited(idx) = msg {
+                exited.insert(idx);
             }
         }
-        // ⑤ release the wave at the roots.
-        for &root in &self.roots {
-            let _ = self.shared.inboxes[root].send(Msg::Propagate);
-        }
-        while applied < n {
-            match self.coord_rx.recv().expect("workers alive") {
-                CoordMsg::Ack => {}
-                CoordMsg::Applied => applied += 1,
-                CoordMsg::Exited => {
-                    panic!("pipeline drained during reconfiguration (propagate phase)")
+        let staged_done = |acked: &HashSet<usize>,
+                           applied: &HashSet<usize>,
+                           exited: &HashSet<usize>| {
+            (0..n).all(|i| acked.contains(&i) || applied.contains(&i) || exited.contains(&i))
+        };
+        let apply_done = |applied: &HashSet<usize>, exited: &HashSet<usize>| {
+            (0..n).all(|i| applied.contains(&i) || exited.contains(&i))
+        };
+
+        let mut last_attempt = 0;
+        for attempt in 0..=wave.max_retries {
+            last_attempt = attempt;
+            let budget = Duration::from_millis(
+                100 * wave.deadline_windows.max(2)
+                    * wave.backoff.max(1).saturating_pow(attempt),
+            );
+            let deadline = Instant::now() + budget;
+
+            // ③ stage at every instance that has not applied yet. The
+            // injector may drop (recovered by the next attempt) or
+            // delay messages.
+            let mut delayed: Vec<(usize, Msg)> = Vec::new();
+            for idx in (0..n).rev() {
+                if applied.contains(&idx) || exited.contains(&idx) {
+                    continue;
+                }
+                let msg = Msg::Reconf {
+                    routers: routers[idx].clone(),
+                    send: send[idx].clone(),
+                    receive: receive[idx].clone(),
+                };
+                match self.control_fate(ControlClass::SendReconf) {
+                    ControlFate::Deliver => {
+                        if self.shared.inboxes[idx].send(msg).is_err() {
+                            exited.insert(idx);
+                        }
+                    }
+                    ControlFate::Drop => {}
+                    ControlFate::Delay(_) => delayed.push((idx, msg)),
                 }
             }
+            if !delayed.is_empty() {
+                std::thread::sleep(Duration::from_millis(50));
+                for (idx, msg) in delayed {
+                    if self.shared.inboxes[idx].send(msg).is_err() {
+                        exited.insert(idx);
+                    }
+                }
+            }
+
+            // ④ collect acks until the deadline.
+            while !staged_done(&acked, &applied, &exited) {
+                let Some(left) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                    break;
+                };
+                match self.coord_rx.recv_timeout(left) {
+                    Ok(CoordMsg::Ack(idx)) => {
+                        acked.insert(idx);
+                    }
+                    Ok(CoordMsg::Applied(idx)) => {
+                        applied.insert(idx);
+                    }
+                    Ok(CoordMsg::Exited(idx)) => {
+                        exited.insert(idx);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if !staged_done(&acked, &applied, &exited) {
+                continue; // deadline missed in the stage phase: retry
+            }
+
+            // ⑤ release the wave. First attempt: propagate from the
+            // roots, the paper's progressive wave. Retries: force-apply
+            // directly at each straggler — the propagates it was
+            // waiting for are lost for good.
+            if attempt == 0 {
+                let mut delayed_roots = Vec::new();
+                for &root in &self.roots {
+                    match self.control_fate(ControlClass::Propagate) {
+                        ControlFate::Deliver => {
+                            let _ = self.shared.inboxes[root].send(Msg::Propagate);
+                        }
+                        ControlFate::Drop => {}
+                        ControlFate::Delay(_) => delayed_roots.push(root),
+                    }
+                }
+                if !delayed_roots.is_empty() {
+                    std::thread::sleep(Duration::from_millis(50));
+                    for root in delayed_roots {
+                        let _ = self.shared.inboxes[root].send(Msg::Propagate);
+                    }
+                }
+            } else {
+                for idx in 0..n {
+                    if !applied.contains(&idx)
+                        && !exited.contains(&idx)
+                        && self.shared.inboxes[idx].send(Msg::ForceApply).is_err()
+                    {
+                        exited.insert(idx);
+                    }
+                }
+            }
+
+            // ⑥ wait for every instance to apply, until the deadline.
+            while !apply_done(&applied, &exited) {
+                let Some(left) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                    break;
+                };
+                match self.coord_rx.recv_timeout(left) {
+                    Ok(CoordMsg::Ack(idx)) => {
+                        acked.insert(idx);
+                    }
+                    Ok(CoordMsg::Applied(idx)) => {
+                        applied.insert(idx);
+                    }
+                    Ok(CoordMsg::Exited(idx)) => {
+                        exited.insert(idx);
+                    }
+                    Err(_) => break,
+                }
+            }
+            if apply_done(&applied, &exited) {
+                return if exited.is_empty() {
+                    Ok(())
+                } else {
+                    Err(ReconfigError::Nack)
+                };
+            }
         }
+        Err(ReconfigError::Timeout {
+            attempt: last_attempt,
+        })
+    }
+
+    /// Arms fault injection: [`DropControl`] / [`DelayControl`] events
+    /// fire against the control messages of subsequent waves (③/⑤ at
+    /// the wave driver, ⑥ at the sending worker). `CrashPoi` and
+    /// `KillManager` events are simulator-driven; crash live instances
+    /// explicitly with [`crash_instance`](Self::crash_instance).
+    ///
+    /// [`DropControl`]: crate::FaultEvent::DropControl
+    /// [`DelayControl`]: crate::FaultEvent::DelayControl
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.shared.fault.lock() = Some(FaultInjector::new(plan));
+    }
+
+    /// Snapshots every instance's keyed state into a
+    /// [`ClusterCheckpoint`] and keeps it as the respawn point for
+    /// [`crash_instance`](Self::crash_instance). Blocks briefly (one
+    /// state probe per instance). Routing tables are not captured: a
+    /// respawned live instance re-fetches the *current* tables from
+    /// the manager, not the checkpoint's.
+    pub fn checkpoint_now(&mut self) -> ClusterCheckpoint {
+        let mut states = Vec::with_capacity(self.n_instances);
+        for po_idx in 0..self.shared.parallelism.len() {
+            for i in 0..self.shared.parallelism[po_idx] {
+                states.push(self.probe_state(PoId(po_idx), i).unwrap_or_default());
+            }
+        }
+        self.checkpoint_seq += 1;
+        let cp = ClusterCheckpoint {
+            window_index: self.checkpoint_seq,
+            states,
+            routers: vec![Vec::new(); self.n_instances],
+        };
+        self.last_checkpoint = Some(cp.clone());
+        cp
+    }
+
+    /// The snapshot [`crash_instance`](Self::crash_instance) respawns
+    /// from, if [`checkpoint_now`](Self::checkpoint_now) was called.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&ClusterCheckpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// Crashes one instance: its keyed state, queued inbox messages
+    /// and any staged wave configuration are lost, then it respawns
+    /// from the last [`checkpoint_now`](Self::checkpoint_now) snapshot
+    /// (empty state if none was taken). Crashed sources stay down — a
+    /// restarted generator would replay its stream. At-most-once:
+    /// state updates since the checkpoint and queued tuples are gone.
+    pub fn crash_instance(&self, po: PoId, instance: usize) {
+        let idx = self.shared.poi_base[po.index()] + instance;
+        let restore = self
+            .last_checkpoint
+            .as_ref()
+            .and_then(|cp| cp.states.get(idx).cloned())
+            .unwrap_or_default();
+        let _ = self.shared.inboxes[idx].send(Msg::Crash { restore });
     }
 
     /// Asks saturating sources to stop; finite sources stop on their
@@ -596,6 +844,7 @@ fn source_loop(
     };
     let mut emitted = 0u64;
     let mut staged: Option<RouterUpdates> = None;
+    let mut down = false;
     let batch_sleep = match rate {
         SourceRate::Saturate => None,
         SourceRate::PerSecond(r) => Some(std::time::Duration::from_secs_f64(
@@ -608,9 +857,9 @@ fn source_loop(
             match msg {
                 Msg::Reconf { routers, .. } => {
                     staged = Some(routers);
-                    let _ = shared.coord.send(CoordMsg::Ack);
+                    let _ = shared.coord.send(CoordMsg::Ack(my_idx));
                 }
-                Msg::Propagate => {
+                Msg::Propagate | Msg::ForceApply => {
                     if let Some(routers) = staged.take() {
                         for (edge, router) in routers {
                             ctx.overrides.insert(edge.index(), router);
@@ -619,15 +868,18 @@ fn source_loop(
                     for &succ in &successors {
                         let _ = shared.inboxes[succ].send(Msg::Propagate);
                     }
-                    let _ = shared.coord.send(CoordMsg::Applied);
+                    let _ = shared.coord.send(CoordMsg::Applied(my_idx));
                 }
                 Msg::StateProbe(reply) => {
                     let _ = reply.send(HashMap::new());
                 }
+                // A crashed source stays down: restarting the
+                // generator would replay its whole stream.
+                Msg::Crash { .. } => down = true,
                 Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos => {}
             }
         }
-        if shared.stop.load(Ordering::Relaxed) {
+        if down || shared.stop.load(Ordering::Relaxed) {
             break;
         }
         let mut exhausted = false;
@@ -656,9 +908,9 @@ fn source_loop(
         match msg {
             Msg::Reconf { routers, .. } => {
                 staged = Some(routers);
-                let _ = shared.coord.send(CoordMsg::Ack);
+                let _ = shared.coord.send(CoordMsg::Ack(my_idx));
             }
-            Msg::Propagate => {
+            Msg::Propagate | Msg::ForceApply => {
                 if let Some(routers) = staged.take() {
                     for (edge, router) in routers {
                         ctx.overrides.insert(edge.index(), router);
@@ -667,18 +919,18 @@ fn source_loop(
                 for &succ in &successors {
                     let _ = shared.inboxes[succ].send(Msg::Propagate);
                 }
-                let _ = shared.coord.send(CoordMsg::Applied);
+                let _ = shared.coord.send(CoordMsg::Applied(my_idx));
             }
             Msg::StateProbe(reply) => {
                 let _ = reply.send(HashMap::new());
             }
-            Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos => {}
+            Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos | Msg::Crash { .. } => {}
         }
     }
     for &succ in &successors {
         let _ = shared.inboxes[succ].send(Msg::Eos);
     }
-    let _ = shared.coord.send(CoordMsg::Exited);
+    let _ = shared.coord.send(CoordMsg::Exited(my_idx));
     InstanceReport {
         po: PoId(po_idx),
         instance,
@@ -787,7 +1039,24 @@ fn operator_loop(
         true
     }
 
-    while let Ok(msg) = rx.recv() {
+    // Once every predecessor `Eos` is in but keys are still buffered
+    // awaiting a `Migrate`, the loop switches to a bounded-patience
+    // drain: if the state transfer was lost (fault injection, crashed
+    // sender), the orphaned keys are adopted after the grace period
+    // instead of hanging `join()` forever.
+    let mut draining = false;
+    loop {
+        let msg = if draining {
+            match rx.recv_timeout(Duration::from_millis(500)) {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        };
         match msg {
             Msg::Data(tuple) => {
                 if process_one(
@@ -817,9 +1086,15 @@ fn operator_loop(
                 }
                 awaiting = pred_instances.max(1);
                 staged = Some((routers, send));
-                let _ = shared.coord.send(CoordMsg::Ack);
+                let _ = shared.coord.send(CoordMsg::Ack(my_idx));
             }
-            Msg::Propagate => {
+            m @ (Msg::Propagate | Msg::ForceApply) => {
+                // ForceApply is the wave driver's retry path: apply
+                // regardless of how many predecessor propagates are
+                // still outstanding (they were lost for good).
+                if matches!(m, Msg::ForceApply) {
+                    awaiting = awaiting.min(1);
+                }
                 awaiting = awaiting.saturating_sub(1);
                 if awaiting == 0 {
                     if let Some((routers, send)) = staged.take() {
@@ -829,12 +1104,25 @@ fn operator_loop(
                         for (key, dest) in send {
                             let moved = state.remove(&key);
                             departed.insert(key, dest);
-                            let _ = shared.inboxes[dest].send(Msg::Migrate { key, state: moved });
+                            let fate = shared
+                                .fault
+                                .lock()
+                                .as_mut()
+                                .map_or(ControlFate::Deliver, |inj| {
+                                    inj.on_control(ControlClass::Migrate)
+                                });
+                            // A dropped ⑥ loses the moved state (at-
+                            // most-once); the new owner adopts the key
+                            // with fresh state when it drains.
+                            if !matches!(fate, ControlFate::Drop) {
+                                let _ = shared.inboxes[dest]
+                                    .send(Msg::Migrate { key, state: moved });
+                            }
                         }
                         for &succ in &successors {
                             let _ = shared.inboxes[succ].send(Msg::Propagate);
                         }
-                        let _ = shared.coord.send(CoordMsg::Applied);
+                        let _ = shared.coord.send(CoordMsg::Applied(my_idx));
                     }
                 }
             }
@@ -861,22 +1149,85 @@ fn operator_loop(
                         }
                     }
                 }
+                if draining && pending.values().all(Vec::is_empty) {
+                    break;
+                }
             }
             Msg::Eos => {
                 eos_seen += 1;
-                if eos_seen >= pred_instances && pending.values().all(Vec::is_empty) {
-                    break;
+                if eos_seen >= pred_instances {
+                    if pending.values().all(Vec::is_empty) {
+                        break;
+                    }
+                    draining = true;
                 }
             }
             Msg::StateProbe(reply) => {
                 let _ = reply.send(state.clone());
+            }
+            Msg::Crash { restore } => {
+                // Everything volatile is lost; respawn from the
+                // checkpoint the coordinator carried over.
+                state = restore;
+                pending.clear();
+                departed.clear();
+                staged = None;
+                awaiting = 0;
+                // Queued messages die with the instance — except the
+                // stream-lifecycle `Eos` tokens (a respawned instance
+                // still knows its predecessors finished) and state
+                // probes, which must always be answered.
+                while let Ok(m) = rx.try_recv() {
+                    match m {
+                        Msg::Eos => eos_seen += 1,
+                        Msg::StateProbe(reply) => {
+                            let _ = reply.send(state.clone());
+                        }
+                        _ => {}
+                    }
+                }
+                if eos_seen >= pred_instances {
+                    if pending.values().all(Vec::is_empty) {
+                        break;
+                    }
+                    draining = true;
+                }
+            }
+        }
+    }
+    // Adopt keys still buffered for a `Migrate` that never came (lost
+    // transfer): their state starts fresh — at-most-once — but no
+    // tuple is silently discarded.
+    let mut orphans: Vec<Key> = pending
+        .iter()
+        .filter(|(_, buf)| !buf.is_empty())
+        .map(|(&k, _)| k)
+        .collect();
+    orphans.sort_unstable();
+    for key in orphans {
+        let buffered = pending.remove(&key).unwrap_or_default();
+        for tuple in buffered {
+            if process_one(
+                tuple,
+                op.as_mut(),
+                stateful,
+                state_field,
+                &mut state,
+                &mut pending,
+                &departed,
+                &mut observers,
+                &mut emitted,
+                &mut ctx,
+                &shared,
+            ) {
+                processed += 1;
             }
         }
     }
     for &succ in &successors {
         let _ = shared.inboxes[succ].send(Msg::Eos);
     }
-    let _ = shared.coord.send(CoordMsg::Exited);
+    let _ = shared.coord.send(CoordMsg::Exited(my_idx));
     InstanceReport {
         po: PoId(po_idx),
         instance,

@@ -1,5 +1,6 @@
 //! Run metrics: throughput, locality, load balance, network usage.
 
+use crate::reconfig::ReconfigError;
 use crate::topology::{EdgeId, PoiId};
 
 /// Per-edge transfer counters for one window.
@@ -61,6 +62,15 @@ pub struct WindowMetrics {
     pub max_queue_depth: usize,
     /// Messages waiting in network backlogs at the end of the window.
     pub backlog_messages: usize,
+    /// Control messages dropped by fault injection this window.
+    pub dropped_control: u64,
+    /// Control messages delayed by fault injection this window.
+    pub delayed_control: u64,
+    /// Instances crashed by fault injection this window.
+    pub crashes: u64,
+    /// Reconfiguration failures surfaced this window (timeouts, nacks,
+    /// lost migrations, aborts). Empty in fault-free runs.
+    pub reconfig_errors: Vec<ReconfigError>,
 }
 
 /// The full log of a simulation run.

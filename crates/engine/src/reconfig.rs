@@ -32,12 +32,21 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::fault::{ControlClass, ControlFate};
 use crate::key::Key;
 use crate::metrics::WindowMetrics;
 use crate::operator::StateValue;
-use crate::router::KeyRouter;
-use crate::sim::{NetMsg, NetPayload, Simulation};
-use crate::topology::{EdgeId, PoId, PoiId};
+use crate::router::{HashRouter, KeyRouter};
+use crate::sim::{LostMigration, NetMsg, NetPayload, OutKind, Simulation};
+use crate::topology::{EdgeId, Grouping, PoId, PoiId};
+
+/// How many times a dropped ⑥ `MIGRATE` message is retransmitted
+/// before the engine recovers the state out of band (from its
+/// replicated copy) and surfaces [`ReconfigError::MigrationLost`].
+pub(crate) const MAX_MIGRATE_RETRANSMITS: u32 = 3;
+
+/// Windows between retransmissions of an undelivered migration.
+pub(crate) const MIGRATE_RETRY_WINDOWS: u64 = 3;
 
 /// A complete reconfiguration computed by the manager: new routers for
 /// the fields-grouped edges and the key-state migrations they imply.
@@ -82,6 +91,71 @@ impl fmt::Display for ReconfigInProgress {
 
 impl std::error::Error for ReconfigInProgress {}
 
+/// Why a reconfiguration wave failed (surfaced per window in
+/// [`WindowMetrics::reconfig_errors`] and returned by the live
+/// runtime's wave driver).
+///
+/// [`WindowMetrics::reconfig_errors`]: crate::WindowMetrics::reconfig_errors
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigError {
+    /// The wave missed its deadline (attempt number is 0-based).
+    Timeout {
+        /// Which attempt timed out (0 = the first).
+        attempt: u32,
+    },
+    /// A participant rejected or lost its staged configuration — e.g.
+    /// it crashed mid-wave — so the wave cannot complete as sent.
+    Nack,
+    /// A state migration was lost in transit and, after retransmission
+    /// attempts were exhausted, recovered out of band from the
+    /// engine's replicated copy.
+    MigrationLost,
+    /// The wave was rolled back for good: routing tables and key
+    /// ownership were reverted to their pre-wave values.
+    Aborted,
+}
+
+impl fmt::Display for ReconfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout { attempt } => {
+                write!(f, "reconfiguration attempt {attempt} missed its deadline")
+            }
+            Self::Nack => f.write_str("a participant rejected the staged configuration"),
+            Self::MigrationLost => {
+                f.write_str("a state migration was lost and recovered out of band")
+            }
+            Self::Aborted => f.write_str("the reconfiguration wave was rolled back"),
+        }
+    }
+}
+
+impl std::error::Error for ReconfigError {}
+
+/// Failure-handling knobs of one reconfiguration wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveConfig {
+    /// Windows the wave may take before the manager declares it dead
+    /// and rolls it back.
+    pub deadline_windows: u64,
+    /// Full restarts attempted after a timeout or nack before the
+    /// wave is abandoned.
+    pub max_retries: u32,
+    /// Deadline multiplier applied per retry (exponential backoff:
+    /// attempt `k` gets `deadline_windows * backoff^k`).
+    pub backoff: u64,
+}
+
+impl Default for WaveConfig {
+    fn default() -> Self {
+        Self {
+            deadline_windows: 16,
+            max_retries: 2,
+            backoff: 2,
+        }
+    }
+}
+
 /// The per-POI payload of a ③ `SEND_RECONF` message.
 pub(crate) struct StagedReconf {
     pub(crate) routers: Vec<(EdgeId, Arc<dyn KeyRouter>)>,
@@ -95,14 +169,27 @@ pub(crate) enum ControlMsg {
     Propagate,
 }
 
-/// Manager-side progress tracking of the running wave.
+/// Manager-side progress tracking of the running wave, including the
+/// failure-recovery context: the plan (for retries), the pre-wave
+/// router snapshot (for rollback) and the deadline clock.
 pub(crate) struct ReconfigExec {
     pub(crate) acks_pending: usize,
     pub(crate) applies_pending: usize,
+    pub(crate) plan: ReconfigPlan,
+    pub(crate) wave: WaveConfig,
+    pub(crate) attempt: u32,
+    pub(crate) deadline: u64,
+    /// Set when a participant died or rejected mid-wave; triggers a
+    /// rollback at the next progress check.
+    pub(crate) nacked: bool,
+    /// Every POI's fields routers as they were before the wave, for
+    /// rollback.
+    pub(crate) pre_wave_routers: Vec<Vec<(EdgeId, Arc<dyn KeyRouter>)>>,
 }
 
 impl Simulation {
-    /// Starts the online reconfiguration protocol for `plan`.
+    /// Starts the online reconfiguration protocol for `plan` with the
+    /// default [`WaveConfig`].
     ///
     /// Control messages take one window per hop, mirroring the paper's
     /// progressive wave; the data stream keeps flowing throughout.
@@ -111,24 +198,61 @@ impl Simulation {
     ///
     /// Returns [`ReconfigInProgress`] if a previous wave has not
     /// finished applying (pending state migrations do not block a new
-    /// wave, matching the paper's continuous operation).
+    /// wave, matching the paper's continuous operation), or if the
+    /// manager has been killed by fault injection — a dead manager
+    /// cannot orchestrate a wave.
     pub fn start_reconfiguration(&mut self, plan: ReconfigPlan) -> Result<(), ReconfigInProgress> {
-        if self.reconfig.is_some() {
+        self.start_reconfiguration_with(plan, WaveConfig::default())
+    }
+
+    /// Like [`start_reconfiguration`](Self::start_reconfiguration)
+    /// with explicit deadline/retry behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`start_reconfiguration`](Self::start_reconfiguration).
+    pub fn start_reconfiguration_with(
+        &mut self,
+        plan: ReconfigPlan,
+        wave: WaveConfig,
+    ) -> Result<(), ReconfigInProgress> {
+        if self.reconfig.is_some() || self.manager_down {
             return Err(ReconfigInProgress);
         }
-        let n = self.pois.len();
-        let mut routers: Vec<Vec<(EdgeId, Arc<dyn KeyRouter>)>> = vec![Vec::new(); n];
-        for (poi, edge, router) in plan.routers {
-            routers[poi.index()].push((edge, router));
-        }
-        let mut send: Vec<Vec<(Key, PoiId)>> = vec![Vec::new(); n];
-        let mut receive: Vec<Vec<Key>> = vec![Vec::new(); n];
-        for (from, key, to) in plan.migrations {
+        for &(from, _, to) in &plan.migrations {
             assert_eq!(
                 self.pois[from.index()].po,
                 self.pois[to.index()].po,
                 "state migrates between instances of one operator"
             );
+        }
+        let pre_wave_routers = self.snapshot_routers();
+        let deadline = self.window_index + wave.deadline_windows.max(2);
+        self.enqueue_wave(&plan);
+        self.reconfig = Some(ReconfigExec {
+            acks_pending: self.pois.len(),
+            applies_pending: self.pois.len(),
+            plan,
+            wave,
+            attempt: 0,
+            deadline,
+            nacked: false,
+            pre_wave_routers,
+        });
+        Ok(())
+    }
+
+    /// Enqueues the ③ `SEND_RECONF` messages of `plan` for delivery at
+    /// the next window.
+    fn enqueue_wave(&mut self, plan: &ReconfigPlan) {
+        let n = self.pois.len();
+        let mut routers: Vec<Vec<(EdgeId, Arc<dyn KeyRouter>)>> = vec![Vec::new(); n];
+        for (poi, edge, router) in &plan.routers {
+            routers[poi.index()].push((*edge, Arc::clone(router)));
+        }
+        let mut send: Vec<Vec<(Key, PoiId)>> = vec![Vec::new(); n];
+        let mut receive: Vec<Vec<Key>> = vec![Vec::new(); n];
+        for &(from, key, to) in &plan.migrations {
             send[from.index()].push((key, to));
             receive[to.index()].push(key);
         }
@@ -141,11 +265,22 @@ impl Simulation {
             };
             self.control_queue.push((due, idx, ControlMsg::Reconf(staged)));
         }
-        self.reconfig = Some(ReconfigExec {
-            acks_pending: n,
-            applies_pending: n,
-        });
-        Ok(())
+    }
+
+    /// Every POI's current fields routers (rollback snapshot).
+    fn snapshot_routers(&self) -> Vec<Vec<(EdgeId, Arc<dyn KeyRouter>)>> {
+        self.pois
+            .iter()
+            .map(|p| {
+                p.out
+                    .iter()
+                    .filter_map(|o| match &o.kind {
+                        OutKind::Fields { router, .. } => Some((o.edge, Arc::clone(router))),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// `true` while the protocol wave (③–⑤) is still running.
@@ -181,6 +316,26 @@ impl Simulation {
         self.control_queue = remaining;
         due.sort_by_key(|&(when, poi, _)| (when, poi));
         for (_, poi, msg) in due {
+            // Fault injection: the injector may drop or delay any
+            // control message on the wire.
+            if let Some(injector) = &mut self.fault {
+                let class = match &msg {
+                    ControlMsg::Reconf(_) => ControlClass::SendReconf,
+                    ControlMsg::Propagate => ControlClass::Propagate,
+                };
+                match injector.on_control(class) {
+                    ControlFate::Deliver => {}
+                    ControlFate::Drop => {
+                        wm.dropped_control += 1;
+                        continue;
+                    }
+                    ControlFate::Delay(windows) => {
+                        wm.delayed_control += 1;
+                        self.control_queue.push((now + windows, poi, msg));
+                        continue;
+                    }
+                }
+            }
             match msg {
                 ControlMsg::Reconf(staged) => self.handle_reconf(poi, staged, now),
                 ControlMsg::Propagate => self.handle_propagate(poi, now, wm),
@@ -189,7 +344,12 @@ impl Simulation {
     }
 
     /// ③/④: stage the new configuration, start buffering, ack.
+    /// Tolerates stale messages: a `Reconf` arriving after the wave
+    /// was rolled back is ignored.
     fn handle_reconf(&mut self, idx: usize, staged: StagedReconf, now: u64) {
+        if self.reconfig.is_none() {
+            return; // stale message from an aborted wave
+        }
         {
             let poi = &mut self.pois[idx];
             // Stragglers from the previous reconfiguration are assumed
@@ -206,13 +366,13 @@ impl Simulation {
             poi.awaiting_propagates = pred.max(1);
             poi.staged = Some(staged);
         }
-        let exec = self
-            .reconfig
-            .as_mut()
-            .expect("reconf message implies an active wave");
-        exec.acks_pending -= 1;
-        if exec.acks_pending == 0 {
+        let manager_down = self.manager_down;
+        let exec = self.reconfig.as_mut().expect("checked above");
+        exec.acks_pending = exec.acks_pending.saturating_sub(1);
+        if exec.acks_pending == 0 && !manager_down {
             // ⑤: all acks received; propagate to the root operators.
+            // A dead manager cannot release the wave — the deadline
+            // will roll it back instead.
             let roots: Vec<usize> = (0..self.topo.pos.len())
                 .filter(|&po| self.topo.in_edges[po].is_empty())
                 .flat_map(|po| {
@@ -227,23 +387,23 @@ impl Simulation {
     }
 
     /// ⑤/⑥: count propagates; on the last one, apply the staged
-    /// configuration, migrate state, forward the wave.
+    /// configuration, migrate state, forward the wave. Duplicate or
+    /// stale propagates (possible after crashes, delays and wave
+    /// restarts) are ignored instead of corrupting the count.
     fn handle_propagate(&mut self, idx: usize, now: u64, wm: &mut WindowMetrics) {
         {
             let poi = &mut self.pois[idx];
-            assert!(
-                poi.awaiting_propagates > 0,
-                "unexpected propagate at instance {idx}"
-            );
+            if poi.awaiting_propagates == 0 {
+                return; // duplicate or stale propagate
+            }
             poi.awaiting_propagates -= 1;
             if poi.awaiting_propagates > 0 {
                 return;
             }
         }
-        let staged = self.pois[idx]
-            .staged
-            .take()
-            .expect("propagate wave reached an unstaged instance");
+        let Some(staged) = self.pois[idx].staged.take() else {
+            return; // staged config lost (e.g. the instance crashed)
+        };
 
         // Swap in the new routing tables.
         for (edge, router) in staged.routers {
@@ -270,11 +430,10 @@ impl Simulation {
             self.control_queue.push((now + 1, poi, ControlMsg::Propagate));
         }
 
-        let exec = self
-            .reconfig
-            .as_mut()
-            .expect("apply implies an active wave");
-        exec.applies_pending -= 1;
+        let Some(exec) = self.reconfig.as_mut() else {
+            return; // wave already rolled back; apply was harmless
+        };
+        exec.applies_pending = exec.applies_pending.saturating_sub(1);
         if exec.applies_pending == 0 {
             self.reconfig = None;
         }
@@ -290,6 +449,60 @@ impl Simulation {
         state: Option<StateValue>,
         wm: &mut WindowMetrics,
     ) {
+        self.send_migration_attempt(from_idx, to_idx, key, state, 0, wm);
+    }
+
+    /// One transmission attempt of a ⑥ `MIGRATE`. The injector may
+    /// drop it (queued for retransmission) or delay it; after
+    /// [`MAX_MIGRATE_RETRANSMITS`] drops the state is recovered out of
+    /// band and [`ReconfigError::MigrationLost`] is surfaced.
+    pub(crate) fn send_migration_attempt(
+        &mut self,
+        from_idx: usize,
+        to_idx: usize,
+        key: Key,
+        state: Option<StateValue>,
+        attempts: u32,
+        wm: &mut WindowMetrics,
+    ) {
+        if let Some(injector) = &mut self.fault {
+            match injector.on_control(ControlClass::Migrate) {
+                ControlFate::Deliver => {}
+                ControlFate::Drop => {
+                    wm.dropped_control += 1;
+                    if attempts + 1 > MAX_MIGRATE_RETRANSMITS {
+                        // Retransmissions exhausted: recover the state
+                        // from the engine's replicated copy and tell
+                        // the operator what happened.
+                        wm.reconfig_errors.push(ReconfigError::MigrationLost);
+                        wm.migrated_states += 1;
+                        self.apply_migration(to_idx, key, state);
+                        return;
+                    }
+                    self.lost_migrations.push(LostMigration {
+                        redeliver_at: self.window_index + MIGRATE_RETRY_WINDOWS,
+                        from: from_idx,
+                        to: to_idx,
+                        key,
+                        state,
+                        attempts: attempts + 1,
+                    });
+                    return;
+                }
+                ControlFate::Delay(windows) => {
+                    wm.delayed_control += 1;
+                    self.lost_migrations.push(LostMigration {
+                        redeliver_at: self.window_index + windows,
+                        from: from_idx,
+                        to: to_idx,
+                        key,
+                        state,
+                        attempts,
+                    });
+                    return;
+                }
+            }
+        }
         let from_server = self.pois[from_idx].server;
         let to_server = self.pois[to_idx].server;
         if from_server == to_server {
@@ -305,6 +518,220 @@ impl Simulation {
             bytes,
             payload: NetPayload::Migrate { key, state },
         });
+    }
+
+    /// Retransmits migrations whose previous attempt was dropped or
+    /// delayed and whose retry timer expired.
+    pub(crate) fn process_lost_migrations(&mut self, wm: &mut WindowMetrics) {
+        if self.lost_migrations.is_empty() {
+            return;
+        }
+        let now = self.window_index;
+        let mut due = Vec::new();
+        let mut waiting = Vec::with_capacity(self.lost_migrations.len());
+        for lm in self.lost_migrations.drain(..) {
+            if lm.redeliver_at <= now {
+                due.push(lm);
+            } else {
+                waiting.push(lm);
+            }
+        }
+        self.lost_migrations = waiting;
+        // Stable order for determinism.
+        due.sort_by_key(|lm| (lm.to, lm.key));
+        for lm in due {
+            self.send_migration_attempt(lm.from, lm.to, lm.key, lm.state, lm.attempts, wm);
+        }
+    }
+
+    /// Watches the running wave for nacks and deadline misses; rolls
+    /// it back and retries (with exponential backoff) or abandons it.
+    /// Called once per window by [`Simulation::step`].
+    ///
+    /// [`Simulation::step`]: crate::Simulation::step
+    pub(crate) fn check_wave_progress(&mut self, wm: &mut WindowMetrics) {
+        let Some(exec) = &self.reconfig else { return };
+        let now = self.window_index;
+        let nacked = exec.nacked;
+        if !nacked && now < exec.deadline {
+            return;
+        }
+        let exec = self.reconfig.take().expect("checked above");
+        self.rollback_wave(&exec);
+        wm.reconfig_errors.push(if nacked {
+            ReconfigError::Nack
+        } else {
+            ReconfigError::Timeout {
+                attempt: exec.attempt,
+            }
+        });
+        if self.manager_down {
+            // No manager left to retry the wave: give up and fall back
+            // to hash routing so data keeps flowing correctly.
+            wm.reconfig_errors.push(ReconfigError::Aborted);
+            self.degrade_to_hash(wm);
+            return;
+        }
+        if exec.attempt < exec.wave.max_retries {
+            let attempt = exec.attempt + 1;
+            let horizon = exec
+                .wave
+                .deadline_windows
+                .saturating_mul(exec.wave.backoff.max(1).saturating_pow(attempt));
+            self.enqueue_wave(&exec.plan);
+            self.reconfig = Some(ReconfigExec {
+                acks_pending: self.pois.len(),
+                applies_pending: self.pois.len(),
+                plan: exec.plan,
+                wave: exec.wave,
+                attempt,
+                deadline: now + horizon.max(2),
+                nacked: false,
+                pre_wave_routers: exec.pre_wave_routers,
+            });
+        } else {
+            wm.reconfig_errors.push(ReconfigError::Aborted);
+        }
+    }
+
+    /// Reverts everything the wave touched: routing tables go back to
+    /// the pre-wave snapshot, migrated state returns to its old
+    /// owners, buffered tuples are released back to the input queues,
+    /// and all wave control messages are purged.
+    fn rollback_wave(&mut self, exec: &ReconfigExec) {
+        // 1. Restore the pre-wave routing tables everywhere.
+        for (idx, routers) in exec.pre_wave_routers.iter().enumerate() {
+            for (edge, router) in routers {
+                self.set_poi_router(PoiId(idx), *edge, Arc::clone(router));
+            }
+        }
+        // 2. Purge in-flight wave control messages (the queue only
+        // ever carries wave messages).
+        self.control_queue.clear();
+        // 3. Pull back migrations still on the wire: network backlogs
+        // and the retransmission queue.
+        let mut in_transit: Vec<(usize, Key, Option<StateValue>)> = Vec::new();
+        for server in &mut self.servers {
+            let mut kept = std::collections::VecDeque::new();
+            while let Some(msg) = server.backlog.pop_front() {
+                match msg.payload {
+                    NetPayload::Migrate { key, state } => in_transit.push((msg.to_poi, key, state)),
+                    _ => kept.push_back(msg),
+                }
+            }
+            server.backlog = kept;
+        }
+        for lm in std::mem::take(&mut self.lost_migrations) {
+            in_transit.push((lm.to, lm.key, lm.state));
+        }
+        // 4. Return state to the pre-wave owners. Migrations of *this*
+        // wave revert `to → from`; anything else still in transit
+        // (e.g. a straggler of an earlier wave) is delivered directly
+        // so no state is ever dropped.
+        for (to_poi, key, state) in in_transit {
+            match exec
+                .plan
+                .migrations
+                .iter()
+                .find(|&&(_, k, to)| k == key && to.index() == to_poi)
+            {
+                Some(&(from, _, _)) => {
+                    if let Some(state) = state {
+                        self.pois[from.index()].state.insert(key, state);
+                    }
+                }
+                None => self.apply_migration(to_poi, key, state),
+            }
+        }
+        for &(from, key, to) in &exec.plan.migrations {
+            if let Some(state) = self.pois[to.index()].state.remove(&key) {
+                self.pois[from.index()].state.insert(key, state);
+            }
+        }
+        // 5. Clear the per-POI wave runtime and release buffered
+        // tuples back to the front of the input queues (sorted by key
+        // for run-to-run determinism). The released tuples sit at the
+        // *intended new* owner while the state just went back to the
+        // old one, so a reversed straggler-forwarding entry sends them
+        // after it — the same §3.4 mechanism the forward path uses.
+        for (idx, poi) in self.pois.iter_mut().enumerate() {
+            poi.staged = None;
+            poi.awaiting_propagates = 0;
+            poi.departed.clear();
+            let mut buffered: Vec<_> = std::mem::take(&mut poi.pending).into_iter().collect();
+            buffered.sort_by_key(|&(key, _)| key);
+            for (key, buf) in buffered.into_iter().rev() {
+                if let Some(&(from, _, _)) = exec
+                    .plan
+                    .migrations
+                    .iter()
+                    .find(|&&(_, k, to)| k == key && to.index() == idx)
+                {
+                    poi.departed.insert(key, from);
+                }
+                for t in buf.into_iter().rev() {
+                    poi.input.push_front(t);
+                }
+            }
+        }
+    }
+
+    /// Whole-table fallback: installs plain hash routing on every
+    /// fields edge and relocates all keyed state to match — zero state
+    /// loss, locality optimizations abandoned. This is the graceful-
+    /// degradation path when the manager becomes unreachable: POIs can
+    /// always compute the hash assignment locally, with no routing
+    /// tables to distribute.
+    pub(crate) fn degrade_to_hash(&mut self, wm: &mut WindowMetrics) {
+        if self.degraded {
+            return;
+        }
+        self.degraded = true;
+        let hash: Arc<dyn KeyRouter> = Arc::new(HashRouter);
+        let fields_edges: Vec<EdgeId> = (0..self.topo.edges.len())
+            .map(EdgeId)
+            .filter(|e| matches!(self.topo.edges[e.index()].grouping, Grouping::Fields { .. }))
+            .collect();
+        for &edge in &fields_edges {
+            self.set_edge_router(edge, Arc::clone(&hash));
+        }
+        // Relocate keyed state to the hash owners (direct moves: the
+        // engine recovers state placement from its store, §3.4).
+        let mut moves: Vec<(usize, usize, Key)> = Vec::new();
+        for &edge in &fields_edges {
+            let dest_po = self.topo.edges[edge.index()].to;
+            if self.topo.state_field(dest_po).is_none() {
+                continue;
+            }
+            let parallelism = self.topo.pos[dest_po.index()].parallelism;
+            let base = self.poi_base[dest_po.index()];
+            for i in 0..parallelism {
+                let mut keys: Vec<Key> = self.pois[base + i].state.keys().copied().collect();
+                keys.sort_unstable();
+                for key in keys {
+                    let owner = HashRouter.route(key, parallelism) as usize;
+                    if owner != i {
+                        moves.push((base + i, base + owner, key));
+                    }
+                }
+            }
+        }
+        for (from, to, key) in moves {
+            if let Some(state) = self.pois[from].state.remove(&key) {
+                self.pois[to].state.insert(key, state);
+                wm.migrated_states += 1;
+            }
+            // Release any tuples buffered for the key at either end.
+            for idx in [from, to] {
+                if let Some(buf) = self.pois[idx].pending.remove(&key) {
+                    for t in buf.into_iter().rev() {
+                        self.pois[idx].input.push_front(t);
+                    }
+                }
+            }
+            self.pois[from].departed.remove(&key);
+            self.pois[to].departed.remove(&key);
+        }
     }
 
     /// Installs migrated state at its new owner and releases any

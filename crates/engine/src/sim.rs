@@ -12,7 +12,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+use crate::checkpoint::ClusterCheckpoint;
 use crate::cluster::ClusterSpec;
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::key::Key;
 use crate::metrics::{MetricsLog, WindowMetrics};
 use crate::operator::{OpContext, Operator, StateValue};
@@ -211,6 +213,17 @@ pub(crate) struct NetMsg {
     pub(crate) payload: NetPayload,
 }
 
+/// A ⑥ `MIGRATE` message the injector dropped or delayed, queued for
+/// retransmission (see `reconfig.rs`).
+pub(crate) struct LostMigration {
+    pub(crate) redeliver_at: u64,
+    pub(crate) from: usize,
+    pub(crate) to: usize,
+    pub(crate) key: Key,
+    pub(crate) state: Option<StateValue>,
+    pub(crate) attempts: u32,
+}
+
 pub(crate) struct ServerRt {
     pub(crate) egress: f64,
     pub(crate) ingress: f64,
@@ -272,6 +285,13 @@ pub struct Simulation {
     pub(crate) metrics: MetricsLog,
     pub(crate) control_queue: Vec<(u64, usize, ControlMsg)>,
     pub(crate) reconfig: Option<ReconfigExec>,
+    // --- failure injection & recovery (see fault.rs) ---
+    pub(crate) fault: Option<FaultInjector>,
+    pub(crate) manager_down: bool,
+    pub(crate) degraded: bool,
+    pub(crate) last_checkpoint: Option<ClusterCheckpoint>,
+    pub(crate) auto_checkpoint_every: Option<u64>,
+    pub(crate) lost_migrations: Vec<LostMigration>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -404,6 +424,12 @@ impl Simulation {
             metrics: MetricsLog::new(window),
             control_queue: Vec::new(),
             reconfig: None,
+            fault: None,
+            manager_down: false,
+            degraded: false,
+            last_checkpoint: None,
+            auto_checkpoint_every: None,
+            lost_migrations: Vec::new(),
         }
     }
 
@@ -570,6 +596,145 @@ impl Simulation {
         self.mgmt_debt[server.0] += bytes as f64;
     }
 
+    /// Arms fault injection: the failures scheduled in `plan` fire
+    /// deterministically as the simulation advances. Replaces any
+    /// previously installed plan (and its occurrence counters).
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// Enables periodic checkpointing: every `every` windows the
+    /// engine snapshots all keyed state and routing tables, and a
+    /// crashed instance respawns from the latest snapshot. Windows
+    /// where a wave or migration is in flight skip the snapshot (a
+    /// consistent cut needs quiescent ownership). `None` disables.
+    pub fn set_auto_checkpoint(&mut self, every: Option<u64>) {
+        self.auto_checkpoint_every = every.filter(|&e| e > 0);
+    }
+
+    /// The most recent automatic checkpoint, if any was taken.
+    #[must_use]
+    pub fn last_checkpoint(&self) -> Option<&ClusterCheckpoint> {
+        self.last_checkpoint.as_ref()
+    }
+
+    /// `true` once fault injection has killed the manager. While down,
+    /// no new reconfiguration can start and a running wave can only
+    /// time out and roll back.
+    #[must_use]
+    pub fn manager_down(&self) -> bool {
+        self.manager_down
+    }
+
+    /// `true` once the deployment fell back to pure hash routing
+    /// because the manager became unreachable.
+    #[must_use]
+    pub fn degraded_to_hash(&self) -> bool {
+        self.degraded
+    }
+
+    /// Brings a killed manager back (a restarted manager process).
+    /// Reconfiguration becomes possible again; a later manager death
+    /// degrades the deployment afresh.
+    pub fn revive_manager(&mut self) {
+        self.manager_down = false;
+        self.degraded = false;
+    }
+
+    /// Crashes instance `poi` right now, as [`FaultEvent::CrashPoi`]
+    /// would: its keyed state, input queue and buffered tuples are
+    /// lost, then it respawns from the last checkpoint (empty if none
+    /// was taken). Crashed sources stay down. If a wave is running,
+    /// the crash nacks it.
+    ///
+    /// [`FaultEvent::CrashPoi`]: crate::FaultEvent::CrashPoi
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poi` is out of range.
+    pub fn crash_poi(&mut self, poi: PoiId, wm: Option<&mut WindowMetrics>) {
+        let idx = poi.index();
+        assert!(idx < self.pois.len(), "poi out of range");
+        if let Some(wm) = wm {
+            wm.crashes += 1;
+        }
+        // A wave participant died: its staged configuration and ack
+        // are gone, so the wave cannot complete as sent.
+        if let Some(exec) = self.reconfig.as_mut() {
+            exec.nacked = true;
+        }
+        let mut dropped = self.pois[idx].input.len() as i64;
+        dropped += self.pois[idx]
+            .pending
+            .values()
+            .map(|b| b.len() as i64)
+            .sum::<i64>();
+        {
+            let poi = &mut self.pois[idx];
+            poi.input.clear();
+            poi.pending.clear();
+            poi.departed.clear();
+            poi.staged = None;
+            poi.awaiting_propagates = 0;
+            poi.state.clear();
+            // A restarted generator would replay its stream from the
+            // beginning; keep it down instead.
+            if let PoiKindRt::Source { exhausted, .. } = &mut poi.kind {
+                *exhausted = true;
+            }
+        }
+        self.in_flight -= dropped;
+        debug_assert!(self.in_flight >= 0, "in-flight accounting underflow");
+
+        // Respawn from the last checkpoint. Keys that have since
+        // migrated to another live instance are skipped — the live
+        // copy is newer and ownership must stay unique.
+        let (restored_state, restored_routers) = match &self.last_checkpoint {
+            Some(cp) if cp.states.len() == self.pois.len() => {
+                (cp.states[idx].clone(), cp.routers[idx].clone())
+            }
+            _ => return,
+        };
+        let po = self.pois[idx].po;
+        let base = self.poi_base[po.index()];
+        let parallelism = self.topo.pos[po.index()].parallelism;
+        for (key, state) in restored_state {
+            let held_elsewhere = (0..parallelism)
+                .map(|i| base + i)
+                .any(|j| j != idx && self.pois[j].state.contains_key(&key));
+            if !held_elsewhere {
+                self.pois[idx].state.insert(key, state);
+            }
+        }
+        for (edge, router) in restored_routers {
+            self.set_poi_router(PoiId(idx), edge, router);
+        }
+    }
+
+    /// Applies the faults scheduled for the current window.
+    fn apply_due_faults(&mut self, wm: &mut WindowMetrics) {
+        let now = self.window_index;
+        let (crashes, kill) = match &mut self.fault {
+            Some(injector) => (injector.poi_crashes_due(now), injector.manager_kill_due(now)),
+            None => return,
+        };
+        for idx in crashes {
+            if idx < self.pois.len() {
+                self.crash_poi(PoiId(idx), Some(wm));
+            }
+        }
+        if kill {
+            self.manager_down = true;
+            // With no wave running there is nothing to wait for: fall
+            // back to hash routing immediately. A running wave is given
+            // until its deadline, then rolled back and degraded (see
+            // check_wave_progress).
+            if self.reconfig.is_none() {
+                self.degrade_to_hash(wm);
+            }
+        }
+    }
+
     /// Runs `windows` simulation windows.
     pub fn run(&mut self, windows: usize) {
         for _ in 0..windows {
@@ -596,6 +761,7 @@ impl Simulation {
         self.in_flight == 0
             && self.control_queue.is_empty()
             && self.reconfig.is_none()
+            && self.lost_migrations.is_empty()
             && self.pois.iter().all(|p| match &p.kind {
                 PoiKindRt::Source { exhausted, .. } => *exhausted,
                 _ => p.input.is_empty() && p.pending.is_empty(),
@@ -657,8 +823,13 @@ impl Simulation {
             }
         }
 
-        // 3. Deliver due control messages (reconfiguration protocol).
+        // 3. Fire scheduled faults, then deliver due control messages
+        // (reconfiguration protocol), retransmit lost migrations, and
+        // check the running wave against its deadline.
+        self.apply_due_faults(&mut wm);
+        self.process_lost_migrations(&mut wm);
         self.process_due_control(&mut wm);
+        self.check_wave_progress(&mut wm);
 
         // 4a. Sources emit, interleaved fairly so saturating sources
         // share the in-flight admission budget instead of the first
@@ -684,6 +855,16 @@ impl Simulation {
 
         self.window_index += 1;
         self.metrics.push(wm);
+
+        // 6. Periodic checkpoint for crash recovery (skipped while a
+        // wave or migration is in flight — no consistent cut exists).
+        if let Some(every) = self.auto_checkpoint_every {
+            if self.window_index.is_multiple_of(every) {
+                if let Ok(cp) = self.checkpoint() {
+                    self.last_checkpoint = Some(cp);
+                }
+            }
+        }
     }
 
     /// Emits from every source instance in round-robin batches until

@@ -1,0 +1,195 @@
+//! Property tests for the failure-recovery protocol: exactly-once
+//! state updates when ⑥ `MIGRATE` messages are delayed and reordered,
+//! and full routing-table rollback when a wave aborts.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use streamloc_engine::{
+    ClusterSpec, ControlClass, CountOperator, FaultEvent, FaultPlan, Grouping, HashRouter, Key,
+    KeyRouter, ModuloRouter, Placement, ReconfigError, ReconfigPlan, SimConfig, Simulation,
+    SourceRate, Topology, Tuple, WaveConfig,
+};
+
+const KEYS: u64 = 12;
+const PARALLELISM: usize = 3;
+const TOTAL: u64 = 18_000;
+
+/// Finite chain S → A → B on (k, k) tuples: every emitted tuple must
+/// be counted exactly once at A and exactly once at B.
+fn finite_sim() -> Simulation {
+    let mut b = Topology::builder();
+    let s = b.source("S", PARALLELISM, SourceRate::PerSecond(20_000.0), |i| {
+        let mut c = i as u64;
+        let mut left = TOTAL / PARALLELISM as u64;
+        Box::new(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            Some(Tuple::new([Key::new(k), Key::new(k)], 64))
+        })
+    });
+    let a = b.stateful("A", PARALLELISM, CountOperator::factory());
+    let bb = b.stateful("B", PARALLELISM, CountOperator::factory());
+    b.connect(s, a, Grouping::fields(0));
+    b.connect(a, bb, Grouping::fields(1));
+    let topo = b.build().unwrap();
+    let placement = Placement::aligned(&topo, PARALLELISM);
+    Simulation::new(
+        topo,
+        ClusterSpec::lan_10g(PARALLELISM),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+/// Re-keys operator `name` from hash to modulo routing, with the
+/// migrations that move every reassigned key to its new owner.
+fn modulo_plan(sim: &Simulation, name: &str) -> ReconfigPlan {
+    let topo = sim.topology();
+    let dest = topo.po_by_name(name).unwrap();
+    let edge = topo.in_edges(dest)[0];
+    let src = topo.edge(edge).from();
+    let dest_pois = sim.poi_ids(dest);
+    let routers = sim
+        .poi_ids(src)
+        .into_iter()
+        .map(|p| (p, edge, Arc::new(ModuloRouter) as Arc<dyn KeyRouter>))
+        .collect();
+    let hash = HashRouter;
+    let migrations = (0..KEYS)
+        .filter_map(|k| {
+            let key = Key::new(k);
+            let old = hash.route(key, PARALLELISM) as usize;
+            let new = (k % PARALLELISM as u64) as usize;
+            (old != new).then(|| (dest_pois[old], key, dest_pois[new]))
+        })
+        .collect();
+    ReconfigPlan { routers, migrations }
+}
+
+fn per_key_counts(sim: &Simulation, name: &str) -> HashMap<Key, u64> {
+    let po = sim.topology().po_by_name(name).unwrap();
+    let mut out = HashMap::new();
+    for poi in sim.poi_ids(po) {
+        for (&k, v) in sim.poi_state(poi) {
+            *out.entry(k).or_insert(0) += v.as_count().unwrap();
+        }
+    }
+    out
+}
+
+/// One instance owns each key — never two (split state) or zero.
+fn assert_unique_ownership(sim: &Simulation, name: &str) {
+    let po = sim.topology().po_by_name(name).unwrap();
+    let mut owner: HashMap<Key, usize> = HashMap::new();
+    for poi in sim.poi_ids(po) {
+        for &k in sim.poi_state(poi).keys() {
+            assert!(
+                owner.insert(k, poi.index()).is_none(),
+                "key {k} of {name} owned by two instances"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Exactly-once state updates: whatever subset of ⑥ `MIGRATE`
+    /// messages gets delayed (and thereby reordered against the wave
+    /// and against each other), every emitted tuple is counted exactly
+    /// once — no loss at the old owner, no double count at the new.
+    #[test]
+    fn exactly_once_under_delayed_reordered_migrates(
+        delays in prop::collection::vec((0u64..10, 1u64..6), 1..4),
+        warmup in 2usize..6,
+    ) {
+        let mut sim = finite_sim();
+        let mut plan = FaultPlan::new();
+        for &(occurrence, windows) in &delays {
+            plan = plan.with(FaultEvent::DelayControl {
+                class: ControlClass::Migrate,
+                occurrence,
+                windows,
+            });
+        }
+        sim.install_fault_plan(plan);
+        sim.run(warmup);
+        sim.start_reconfiguration(modulo_plan(&sim, "A")).unwrap();
+        let spent = sim.run_until_drained(600);
+        prop_assert!(spent < 600, "pipeline failed to drain");
+
+        let a = per_key_counts(&sim, "A");
+        let b = per_key_counts(&sim, "B");
+        prop_assert_eq!(a.values().sum::<u64>(), TOTAL);
+        prop_assert_eq!(b.values().sum::<u64>(), TOTAL);
+        prop_assert_eq!(a, b);
+        assert_unique_ownership(&sim, "A");
+        // Delays are not losses: the protocol must never have needed
+        // the out-of-band migration recovery.
+        let lost = sim
+            .metrics()
+            .windows()
+            .iter()
+            .flat_map(|w| &w.reconfig_errors)
+            .any(|e| *e == ReconfigError::MigrationLost);
+        prop_assert!(!lost, "a delayed migration was treated as lost");
+    }
+
+    /// An aborted wave is invisible: after rollback the routing tables
+    /// are identical to the pre-wave checkpoint's — whether the wave
+    /// died in the stage phase (lost ③) or mid-propagation (lost ⑤,
+    /// with some instances already switched and migrations in flight).
+    #[test]
+    fn aborted_wave_restores_pre_wave_routing(
+        drop_propagate in any::<bool>(),
+        occurrence in 0u64..3,
+        warmup in 2usize..6,
+    ) {
+        let mut sim = finite_sim();
+        sim.run(warmup);
+        let before = sim.checkpoint().unwrap();
+
+        let class = if drop_propagate {
+            ControlClass::Propagate
+        } else {
+            ControlClass::SendReconf
+        };
+        sim.install_fault_plan(
+            FaultPlan::new().with(FaultEvent::DropControl { class, occurrence }),
+        );
+        let wave = WaveConfig {
+            deadline_windows: 4,
+            max_retries: 0,
+            backoff: 1,
+        };
+        sim.start_reconfiguration_with(modulo_plan(&sim, "A"), wave)
+            .unwrap();
+        let spent = sim.run_until_drained(600);
+        prop_assert!(spent < 600, "pipeline failed to drain");
+
+        let aborted = sim
+            .metrics()
+            .windows()
+            .iter()
+            .flat_map(|w| &w.reconfig_errors)
+            .any(|e| matches!(e, ReconfigError::Aborted | ReconfigError::Timeout { .. }));
+        prop_assert!(aborted, "the sabotaged wave should have failed");
+
+        let after = sim.checkpoint().unwrap();
+        prop_assert_eq!(
+            before.router_fingerprint(KEYS, PARALLELISM),
+            after.router_fingerprint(KEYS, PARALLELISM),
+            "rollback must revert every routing table"
+        );
+        // And the rollback lost nothing: full conservation end to end.
+        let a = per_key_counts(&sim, "A");
+        prop_assert_eq!(a.values().sum::<u64>(), TOTAL);
+        prop_assert_eq!(per_key_counts(&sim, "B").values().sum::<u64>(), TOTAL);
+        assert_unique_ownership(&sim, "A");
+    }
+}

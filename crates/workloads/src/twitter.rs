@@ -186,7 +186,7 @@ impl TwitterWorkload {
             .map(|_| FlashEvent {
                 location: rng.gen_range(0..self.cfg.locations),
                 hashtag: rng.gen_range(0..100.min(self.cfg.hashtags)),
-                start_day: week * DAYS_PER_WEEK + rng.gen_range(0..5),
+                start_day: week * DAYS_PER_WEEK + rng.gen_range(0..5usize),
                 duration_days: rng.gen_range(2..4),
             })
             .collect()

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `BenchmarkId`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) and reports a best-of-N wall-clock
+//! timing per benchmark instead of criterion's full statistical
+//! analysis. Good enough to keep `cargo bench` runnable and the
+//! bench targets compiling; not a replacement for real measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combines a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    best: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best (minimum) duration over a few
+    /// iterations — the low-noise point estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many timed iterations each benchmark runs (the stub
+    /// clamps this to keep `cargo bench` fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            best: Duration::MAX,
+            // The stub's aim is a sanity-check timing, not statistics:
+            // cap iterations so heavyweight benches stay quick.
+            iters: (self.sample_size as u32).clamp(1, 10),
+        };
+        f(&mut bencher);
+        self.report(&id.id, bencher.best);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting happens per benchmark).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, best: Duration) {
+        let rate = match (self.throughput, best.as_secs_f64()) {
+            (Some(Throughput::Elements(n)), secs) if secs > 0.0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / secs / 1e6)
+            }
+            (Some(Throughput::Bytes(n)), secs) if secs > 0.0 => {
+                format!("  ({:.3} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {best:?}{rate}", self.name);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            sample_size: 3,
+            _criterion: self,
+        }
+    }
+}
+
+impl fmt::Display for Criterion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Criterion(offline stub)")
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benches_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(100));
+        group.sample_size(2);
+        let mut ran = 0u32;
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &p| {
+            b.iter(|| p * 2);
+            ran += 1;
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+
+    mod as_dependency {
+        crate::criterion_group!(benches, super::noop_bench);
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.benchmark_group("noop").bench_function("id", |b| b.iter(|| 1));
+    }
+
+    #[test]
+    fn macros_expand() {
+        as_dependency::benches();
+    }
+}

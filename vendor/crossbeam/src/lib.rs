@@ -1,0 +1,157 @@
+//! Offline stand-in for the `crossbeam` crate, covering the
+//! `crossbeam::channel` API surface the engine uses.
+//!
+//! Backed by `std::sync::mpsc`: since Rust 1.72 the std channels are
+//! the crossbeam implementation upstreamed, so semantics (and since
+//! then, `Sender: Sync`) match. The one real difference — crossbeam
+//! receivers are clonable (MPMC) — is not exercised by this
+//! workspace; `Receiver` here is single-consumer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer channels with bounded and unbounded flavours.
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum SenderKind<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// The sending half of a channel. Clonable; blocks on a full
+    /// bounded channel.
+    pub struct Sender<T> {
+        kind: SenderKind<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            let kind = match &self.kind {
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+            };
+            Sender { kind }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking while a bounded channel is full.
+        /// Errors only if the receiver was dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.kind {
+                SenderKind::Bounded(tx) => tx.send(msg),
+                SenderKind::Unbounded(tx) => tx.send(msg),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Iterator over received messages; ends when all senders drop.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Creates a channel of unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                kind: SenderKind::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    /// `cap == 0` gives a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                kind: SenderKind::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let a = std::thread::spawn(move || tx2.send(21u32).unwrap());
+        let b = std::thread::spawn(move || tx.send(21u32).unwrap());
+        assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+        // Join before probing for disconnection: a sender thread may
+        // outlive its send() by a beat, and try_recv would see Empty.
+        a.join().unwrap();
+        b.join().unwrap();
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u8).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the first recv
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 3);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (tx, rx) = bounded::<u8>(1);
+        let r = rx.recv_timeout(Duration::from_millis(10));
+        assert!(r.is_err());
+        drop(tx);
+    }
+}
