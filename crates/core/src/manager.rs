@@ -6,7 +6,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use streamloc_engine::{
-    EdgeId, Grouping, Key, KeyRouter, PoId, PoiId, ReconfigInProgress, ReconfigPlan, Simulation,
+    Counter, EdgeId, Grouping, Key, KeyRouter, MetricsRegistry, PoId, PoiId, ReconfigInProgress,
+    ReconfigPlan, Simulation,
 };
 use streamloc_partition::{
     Graph, GreedyPartitioner, HashPartitioner, HierarchicalPartitioner, MultilevelPartitioner,
@@ -189,6 +190,10 @@ pub struct Manager {
     /// Last generated table per routed operator (by position in
     /// `routed`).
     tables: Vec<RoutingTable>,
+    /// Shared `(hash, stale)` fallback counter handles attached to
+    /// every table this manager deploys; `None` until
+    /// [`Manager::attach_metrics`] is called.
+    fallback_counters: Option<(Counter, Counter)>,
 }
 
 impl Manager {
@@ -312,7 +317,28 @@ impl Manager {
             hops,
             routed,
             tables,
+            fallback_counters: None,
         }
+    }
+
+    /// Registers the routing fallback counters in `registry` and wires
+    /// them into every table this manager has deployed or will deploy:
+    /// `routing_hash_fallback_total` counts lookups of keys with no
+    /// explicit entry, `routing_stale_entry_fallback_total` counts
+    /// lookups whose entry pointed past the current parallelism.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let hash = registry.counter(
+            "routing_hash_fallback_total",
+            "table lookups that hash-routed because the key had no entry",
+        );
+        let stale = registry.counter(
+            "routing_stale_entry_fallback_total",
+            "table lookups that hash-routed because the entry was out of range",
+        );
+        for table in &mut self.tables {
+            table.attach_fallback_counters(hash.clone(), stale.clone());
+        }
+        self.fallback_counters = Some((hash, stale));
     }
 
     /// Number of instrumented hops.
@@ -423,13 +449,14 @@ impl Manager {
 
     /// Debits the ①/② statistics upload from each instrumented
     /// instance's NIC: ~24 bytes per monitored pair (two keys and a
-    /// count) plus framing.
+    /// count) plus framing. Goes through
+    /// [`Simulation::charge_statistics_upload`] so the exchange lands
+    /// in the event trace and the statistics-bytes counter.
     fn charge_metrics_upload(&self, sim: &mut Simulation) {
         for hop in &self.hops {
             for (poi, tracker) in sim.poi_ids(hop.tracked_po).into_iter().zip(&hop.trackers) {
                 let bytes = tracker.snapshot().len() as u64 * 24 + 256;
-                let server = sim.poi_server(poi);
-                sim.charge_management_traffic(server, bytes);
+                sim.charge_statistics_upload(poi, bytes);
             }
         }
     }
@@ -462,8 +489,16 @@ impl Manager {
             let Some(table) = config.table(&name) else {
                 continue;
             };
+            let mut table = table.clone();
+            // The saved configuration may predate a parallelism change;
+            // entries pointing past the current instance count would
+            // silently hash-route forever, so drop them at install time.
+            table.purge_out_of_range(sim.poi_ids(*po).len());
+            if let Some((hash, stale)) = &self.fallback_counters {
+                table.attach_fallback_counters(hash.clone(), stale.clone());
+            }
             self.tables[slot] = table.clone();
-            let shared: Arc<dyn KeyRouter> = Arc::new(table.clone());
+            let shared: Arc<dyn KeyRouter> = Arc::new(table);
             for &edge in in_edges {
                 let sender = sim.topology().edge(edge).from();
                 for poi in sim.poi_ids(sender) {
@@ -588,9 +623,12 @@ impl Manager {
         let mut migrations = Vec::new();
         let mut table_entries = 0usize;
         for (slot, (_po, in_edges)) in self.routed.iter().enumerate() {
-            let table = RoutingTable::from_assignments(
+            let mut table = RoutingTable::from_assignments(
                 assignments[slot].iter().map(|(&k, &i)| (k, i)),
             );
+            if let Some((hash, stale)) = &self.fallback_counters {
+                table.attach_fallback_counters(hash.clone(), stale.clone());
+            }
             table_entries += table.len();
             if let Some(&first_edge) = in_edges.first() {
                 migrations.extend(sim.migrations_for(first_edge, &assignments[slot]));

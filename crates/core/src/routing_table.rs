@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use streamloc_engine::{HashRouter, Key, KeyRouter};
+use streamloc_engine::{Counter, HashRouter, Key, KeyRouter};
 
 /// A routing table for fields grouping: explicitly assigns the
 /// monitored keys to operator instances and falls back to hash routing
@@ -22,9 +22,24 @@ use streamloc_engine::{HashRouter, Key, KeyRouter};
 /// let k = Key::new(100);
 /// assert_eq!(table.route(k, 4), HashRouter.route(k, 4));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     table: HashMap<Key, u32>,
+    /// Incremented when a key takes the hash route because it has no
+    /// explicit entry. Detached (free-floating) unless wired to a
+    /// registry via [`RoutingTable::attach_fallback_counters`].
+    hash_fallback: Counter,
+    /// Incremented when a key takes the hash route because its explicit
+    /// entry points past the current parallelism (stale entry).
+    stale_entry_fallback: Counter,
+}
+
+// Equality is over the routing decisions only; the observability
+// counters are incidental state.
+impl PartialEq for RoutingTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table
+    }
 }
 
 impl RoutingTable {
@@ -42,6 +57,7 @@ impl RoutingTable {
     {
         Self {
             table: assignments.into_iter().collect(),
+            ..Self::default()
         }
     }
 
@@ -72,15 +88,59 @@ impl RoutingTable {
     pub fn iter(&self) -> impl Iterator<Item = (Key, u32)> + '_ {
         self.table.iter().map(|(&k, &i)| (k, i))
     }
+
+    /// Removes every entry that points at an instance `>= instances`
+    /// and returns how many were dropped.
+    ///
+    /// Call this when installing a table for a destination whose
+    /// parallelism is known: stale entries would silently degrade to
+    /// hash routing on every lookup (see [`KeyRouter::route`]), so it
+    /// is cheaper — and observable via the return value — to purge
+    /// them once at install time.
+    pub fn purge_out_of_range(&mut self, instances: usize) -> usize {
+        let before = self.table.len();
+        self.table.retain(|_, &mut i| (i as usize) < instances);
+        before - self.table.len()
+    }
+
+    /// Wires the fallback counters to externally owned handles
+    /// (typically registered in a
+    /// [`MetricsRegistry`](streamloc_engine::MetricsRegistry)). Until
+    /// called, the counters are detached but still count.
+    pub fn attach_fallback_counters(&mut self, hash: Counter, stale: Counter) {
+        self.hash_fallback = hash;
+        self.stale_entry_fallback = stale;
+    }
+
+    /// Number of lookups that fell back to hashing because the key had
+    /// no explicit entry.
+    #[must_use]
+    pub fn hash_fallbacks(&self) -> u64 {
+        self.hash_fallback.get()
+    }
+
+    /// Number of lookups that fell back to hashing because the entry
+    /// pointed past the current parallelism.
+    #[must_use]
+    pub fn stale_entry_fallbacks(&self) -> u64 {
+        self.stale_entry_fallback.get()
+    }
 }
 
 impl KeyRouter for RoutingTable {
     fn route(&self, key: Key, instances: usize) -> u32 {
         match self.table.get(&key) {
+            Some(&i) if (i as usize) < instances => i,
             // A stale table entry pointing past the current parallelism
             // degrades to hashing rather than panicking.
-            Some(&i) if (i as usize) < instances => i,
-            _ => HashRouter.route(key, instances),
+            Some(_) => {
+                self.stale_entry_fallback.inc();
+                HashRouter.route(key, instances)
+            }
+            None => {
+                self.hash_fallback.inc();
+                HashRouter.route(key, instances)
+            }
         }
     }
 
@@ -129,6 +189,35 @@ mod tests {
         assert_eq!(t.route(Key::new(5), 4), HashRouter.route(Key::new(5), 4));
         // But valid again if parallelism grows.
         assert_eq!(t.route(Key::new(5), 11), 10);
+    }
+
+    #[test]
+    fn purge_drops_only_out_of_range_entries() {
+        let mut t = RoutingTable::from_assignments([
+            (Key::new(1), 0),
+            (Key::new(2), 3),
+            (Key::new(3), 4),
+            (Key::new(4), 9),
+        ]);
+        assert_eq!(t.purge_out_of_range(4), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(Key::new(1)), Some(0));
+        assert_eq!(t.get(Key::new(2)), Some(3));
+        assert_eq!(t.get(Key::new(3)), None);
+        assert_eq!(t.get(Key::new(4)), None);
+        // Idempotent.
+        assert_eq!(t.purge_out_of_range(4), 0);
+    }
+
+    #[test]
+    fn fallback_counters_distinguish_missing_from_stale() {
+        let t = RoutingTable::from_assignments([(Key::new(1), 0), (Key::new(2), 8)]);
+        t.route(Key::new(1), 4); // explicit hit: no fallback
+        t.route(Key::new(9), 4); // missing: hash fallback
+        t.route(Key::new(2), 4); // stale: stale fallback
+        t.route(Key::new(2), 4);
+        assert_eq!(t.hash_fallbacks(), 1);
+        assert_eq!(t.stale_entry_fallbacks(), 2);
     }
 
     #[test]

@@ -49,7 +49,7 @@ impl PairTracker {
     }
 
     /// An observer handle to install on the engine side
-    /// ([`streamloc_engine::Simulation::set_pair_observer`]).
+    /// ([`streamloc_engine::Simulation::add_pair_observer`]).
     #[must_use]
     pub fn handle(self: &Arc<Self>) -> TrackerHandle {
         TrackerHandle(Arc::clone(self))

@@ -1,0 +1,63 @@
+//! Property-based tests for the routing table: the hash-fallback
+//! contract of paper §3.3 under arbitrary (and arbitrarily stale)
+//! assignments.
+
+use proptest::prelude::*;
+use streamloc_core::RoutingTable;
+use streamloc_engine::{HashRouter, Key, KeyRouter};
+
+/// Arbitrary assignment sets mixing in-range and out-of-range targets.
+fn assignments() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    prop::collection::vec((0u64..500, 0u32..32), 0..64)
+}
+
+proptest! {
+    /// Every out-of-range entry routes exactly as `HashRouter` would —
+    /// the table must never invent an instance index.
+    #[test]
+    fn out_of_range_entries_agree_with_hash_router(
+        entries in assignments(),
+        instances in 1usize..16,
+    ) {
+        let table =
+            RoutingTable::from_assignments(entries.iter().map(|&(k, i)| (Key::new(k), i)));
+        for (key, i) in table.iter().collect::<Vec<_>>() {
+            if (i as usize) >= instances {
+                prop_assert_eq!(
+                    table.route(key, instances),
+                    HashRouter.route(key, instances),
+                    "stale entry ({:?} -> {}) must fall back to hash at parallelism {}",
+                    key, i, instances
+                );
+            }
+        }
+    }
+
+    /// Purging stale entries never changes a routing decision: the
+    /// purged keys were already hash-routed at lookup time.
+    #[test]
+    fn purge_preserves_routing_decisions(
+        entries in assignments(),
+        instances in 1usize..16,
+        probes in prop::collection::vec(0u64..1_000, 0..64),
+    ) {
+        let before =
+            RoutingTable::from_assignments(entries.iter().map(|&(k, i)| (Key::new(k), i)));
+        let mut after = before.clone();
+        let dropped = after.purge_out_of_range(instances);
+        prop_assert!(after.iter().all(|(_, i)| (i as usize) < instances));
+        prop_assert_eq!(dropped, before.len() - after.len());
+        for k in entries.iter().map(|&(k, _)| k).chain(probes) {
+            let key = Key::new(k);
+            prop_assert_eq!(before.route(key, instances), after.route(key, instances));
+        }
+    }
+
+    /// Unknown keys always match the hash route, at every parallelism.
+    #[test]
+    fn missing_keys_always_hash(key in 0u64..10_000, instances in 1usize..16) {
+        let table = RoutingTable::new();
+        let key = Key::new(key);
+        prop_assert_eq!(table.route(key, instances), HashRouter.route(key, instances));
+    }
+}

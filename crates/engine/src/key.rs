@@ -60,16 +60,11 @@ impl fmt::Display for Key {
     }
 }
 
-/// SplitMix64 finalizer: the deterministic integer mix used everywhere
-/// hashing is needed in the simulator, so results are identical across
-/// runs and platforms (unlike `std`'s randomized `DefaultHasher`).
-#[must_use]
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+// The deterministic integer mix used everywhere hashing is needed in
+// the simulator. Canonically defined in `streamloc-sketch` (the bottom
+// of the dependency graph) and re-exported here so every historical
+// `streamloc_engine::splitmix64` import keeps working.
+pub use streamloc_sketch::splitmix64;
 
 /// Bidirectional map between application strings and [`Key`]s.
 ///

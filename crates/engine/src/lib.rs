@@ -64,6 +64,7 @@ mod fault;
 mod key;
 mod live;
 mod metrics;
+pub mod obs;
 mod operator;
 mod operators_ext;
 mod reconfig;
@@ -78,6 +79,9 @@ pub use fault::{ControlClass, ControlFate, FaultEvent, FaultInjector, FaultPlan}
 pub use key::{splitmix64, Key, KeyInterner};
 pub use live::{InstanceReport, LiveConfig, LiveObserver, LiveReconfig, LiveRuntime};
 pub use metrics::{EdgeWindowStats, MetricsLog, WindowMetrics};
+pub use obs::{
+    Counter, EventTracer, Gauge, Histogram, MetricsRegistry, TraceEvent, TraceEventKind,
+};
 pub use operator::{
     CountOperator, FnOperator, IdentityOperator, OpContext, Operator, OperatorFactory, StateValue,
 };

@@ -33,6 +33,7 @@ use parking_lot::Mutex;
 use crate::checkpoint::ClusterCheckpoint;
 use crate::fault::{ControlClass, ControlFate, FaultInjector, FaultPlan};
 use crate::key::Key;
+use crate::obs::{Counter, MetricsRegistry};
 use crate::operator::{OpContext, Operator, StateValue};
 use crate::reconfig::{ReconfigError, WaveConfig};
 
@@ -140,12 +141,57 @@ pub struct InstanceReport {
 pub struct LiveConfig {
     /// Bounded capacity of each instance inbox (backpressure).
     pub channel_capacity: usize,
+    /// Observability registry. When set, the runtime registers its
+    /// hot-path counters (tuples routed/remote, migrations, migration
+    /// bytes) there; workers feed them with relaxed atomic increments.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for LiveConfig {
     fn default() -> Self {
         Self {
             channel_capacity: 8_192,
+            metrics: None,
+        }
+    }
+}
+
+/// Hot-path instruments shared by every worker. Detached (unexported)
+/// counters when no registry is attached, so increments never branch.
+struct LiveHot {
+    tuples_routed: Counter,
+    tuples_remote: Counter,
+    migrations_sent: Counter,
+    migration_bytes: Counter,
+}
+
+impl LiveHot {
+    fn new(registry: Option<&MetricsRegistry>) -> Self {
+        match registry {
+            Some(reg) => Self {
+                tuples_routed: reg.counter(
+                    "live_tuples_routed_total",
+                    "tuples sent on all edges by the live runtime",
+                ),
+                tuples_remote: reg.counter(
+                    "live_tuples_remote_total",
+                    "live tuples that crossed a server boundary",
+                ),
+                migrations_sent: reg.counter(
+                    "live_migrations_total",
+                    "key states shipped by live reconfiguration waves",
+                ),
+                migration_bytes: reg.counter(
+                    "live_migration_bytes_total",
+                    "bytes of key state shipped by live waves",
+                ),
+            },
+            None => Self {
+                tuples_routed: Counter::detached(),
+                tuples_remote: Counter::detached(),
+                migrations_sent: Counter::detached(),
+                migration_bytes: Counter::detached(),
+            },
         }
     }
 }
@@ -173,6 +219,8 @@ struct WorkerShared {
     /// Fault injector consulted for every control message: ③/⑤ by the
     /// wave driver, ⑥ by the sending worker.
     fault: Mutex<Option<FaultInjector>>,
+    /// Hot-path observability counters (see [`LiveHot`]).
+    hot: LiveHot,
 }
 
 /// Per-worker context threaded through the routing helper.
@@ -212,8 +260,10 @@ impl WorkerCtx {
             };
             let dest_idx = shared.poi_base[out.dest_po] + dest_instance;
             let counters = &shared.edges[out.edge];
+            shared.hot.tuples_routed.inc();
             if shared.server[dest_idx] != my_server {
                 counters.remote.fetch_add(1, Ordering::Relaxed);
+                shared.hot.tuples_remote.inc();
             } else {
                 counters.local.fetch_add(1, Ordering::Relaxed);
             }
@@ -300,10 +350,10 @@ impl LiveRuntime {
     /// observers: `(operator, instance, out edge, observed field,
     /// observer)` — the §3.2 instrumentation for live deployments.
     /// The observed field is normally the routed field of the edge;
-    /// see [`Simulation::set_pair_observer`] for the
+    /// see [`Simulation::add_pair_observer`] for the
     /// through-stateless case.
     ///
-    /// [`Simulation::set_pair_observer`]: crate::Simulation::set_pair_observer
+    /// [`Simulation::add_pair_observer`]: crate::Simulation::add_pair_observer
     ///
     /// # Panics
     ///
@@ -423,6 +473,7 @@ impl LiveRuntime {
             parallelism: parallelism.clone(),
             poi_base: poi_base.clone(),
             fault: Mutex::new(None),
+            hot: LiveHot::new(config.metrics.as_deref()),
         });
 
         type ObserverEntry = (EdgeId, usize, Box<dyn PairObserver>);
@@ -1115,6 +1166,10 @@ fn operator_loop(
                             // most-once); the new owner adopts the key
                             // with fresh state when it drains.
                             if !matches!(fate, ControlFate::Drop) {
+                                shared.hot.migrations_sent.inc();
+                                shared.hot.migration_bytes.add(
+                                    moved.as_ref().map_or(0, StateValue::size_bytes),
+                                );
                                 let _ = shared.inboxes[dest]
                                     .send(Msg::Migrate { key, state: moved });
                             }

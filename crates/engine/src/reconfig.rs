@@ -35,6 +35,7 @@ use std::sync::Arc;
 use crate::fault::{ControlClass, ControlFate};
 use crate::key::Key;
 use crate::metrics::WindowMetrics;
+use crate::obs::TraceEventKind;
 use crate::operator::StateValue;
 use crate::router::{HashRouter, KeyRouter};
 use crate::sim::{LostMigration, NetMsg, NetPayload, OutKind, Simulation};
@@ -179,6 +180,11 @@ pub(crate) struct ReconfigExec {
     pub(crate) wave: WaveConfig,
     pub(crate) attempt: u32,
     pub(crate) deadline: u64,
+    /// Stable identifier of this wave across retries (trace
+    /// attribution); assigned from `Simulation::wave_seq`.
+    pub(crate) wave_id: u64,
+    /// Window the wave (attempt 0) started in.
+    pub(crate) started_at: u64,
     /// Set when a participant died or rejected mid-wave; triggers a
     /// rollback at the next progress check.
     pub(crate) nacked: bool,
@@ -228,6 +234,27 @@ impl Simulation {
         }
         let pre_wave_routers = self.snapshot_routers();
         let deadline = self.window_index + wave.deadline_windows.max(2);
+        let wave_id = self.wave_seq;
+        self.wave_seq += 1;
+        self.last_wave = Some(wave_id);
+        if self.tracer.is_some() {
+            // ①/② — the metrics exchange that precedes every wave: the
+            // manager reads each POI's observers before computing the
+            // plan. Byte-accurate NIC charging happens separately via
+            // `charge_statistics_upload`.
+            for poi in 0..self.pois.len() {
+                self.trace(Some(wave_id), TraceEventKind::GetMetrics { poi });
+                self.trace(Some(wave_id), TraceEventKind::SendMetrics { poi, bytes: 0 });
+            }
+            self.trace(
+                Some(wave_id),
+                TraceEventKind::WaveStarted {
+                    routers: plan.routers.len(),
+                    migrations: plan.migrations.len(),
+                    attempt: 0,
+                },
+            );
+        }
         self.enqueue_wave(&plan);
         self.reconfig = Some(ReconfigExec {
             acks_pending: self.pois.len(),
@@ -236,6 +263,8 @@ impl Simulation {
             wave,
             attempt: 0,
             deadline,
+            wave_id,
+            started_at: self.window_index,
             nacked: false,
             pre_wave_routers,
         });
@@ -316,29 +345,42 @@ impl Simulation {
         self.control_queue = remaining;
         due.sort_by_key(|&(when, poi, _)| (when, poi));
         for (_, poi, msg) in due {
+            let class = match &msg {
+                ControlMsg::Reconf(_) => ControlClass::SendReconf,
+                ControlMsg::Propagate => ControlClass::Propagate,
+            };
             // Fault injection: the injector may drop or delay any
             // control message on the wire.
-            if let Some(injector) = &mut self.fault {
-                let class = match &msg {
-                    ControlMsg::Reconf(_) => ControlClass::SendReconf,
-                    ControlMsg::Propagate => ControlClass::Propagate,
-                };
-                match injector.on_control(class) {
-                    ControlFate::Deliver => {}
-                    ControlFate::Drop => {
-                        wm.dropped_control += 1;
-                        continue;
-                    }
-                    ControlFate::Delay(windows) => {
-                        wm.delayed_control += 1;
-                        self.control_queue.push((now + windows, poi, msg));
-                        continue;
-                    }
+            let fate = match &mut self.fault {
+                Some(injector) => injector.on_control(class),
+                None => ControlFate::Deliver,
+            };
+            match fate {
+                ControlFate::Deliver => {}
+                ControlFate::Drop => {
+                    wm.dropped_control += 1;
+                    self.trace(self.active_wave(), TraceEventKind::ControlDropped { class });
+                    continue;
+                }
+                ControlFate::Delay(windows) => {
+                    wm.delayed_control += 1;
+                    self.trace(
+                        self.active_wave(),
+                        TraceEventKind::ControlDelayed { class, windows },
+                    );
+                    self.control_queue.push((now + windows, poi, msg));
+                    continue;
                 }
             }
             match msg {
-                ControlMsg::Reconf(staged) => self.handle_reconf(poi, staged, now),
-                ControlMsg::Propagate => self.handle_propagate(poi, now, wm),
+                ControlMsg::Reconf(staged) => {
+                    self.trace(self.active_wave(), TraceEventKind::SendReconf { poi });
+                    self.handle_reconf(poi, staged, now);
+                }
+                ControlMsg::Propagate => {
+                    self.trace(self.active_wave(), TraceEventKind::Propagate { poi });
+                    self.handle_propagate(poi, now, wm);
+                }
             }
         }
     }
@@ -369,6 +411,15 @@ impl Simulation {
         let manager_down = self.manager_down;
         let exec = self.reconfig.as_mut().expect("checked above");
         exec.acks_pending = exec.acks_pending.saturating_sub(1);
+        let (wave_id, acks_pending) = (exec.wave_id, exec.acks_pending);
+        self.trace(
+            Some(wave_id),
+            TraceEventKind::AckReconf {
+                poi: idx,
+                acks_pending,
+            },
+        );
+        let exec = self.reconfig.as_mut().expect("checked above");
         if exec.acks_pending == 0 && !manager_down {
             // ⑤: all acks received; propagate to the root operators.
             // A dead manager cannot release the wave — the deadline
@@ -404,6 +455,7 @@ impl Simulation {
         let Some(staged) = self.pois[idx].staged.take() else {
             return; // staged config lost (e.g. the instance crashed)
         };
+        self.trace(self.active_wave(), TraceEventKind::WaveApplied { poi: idx });
 
         // Swap in the new routing tables.
         for (edge, router) in staged.routers {
@@ -435,7 +487,16 @@ impl Simulation {
         };
         exec.applies_pending = exec.applies_pending.saturating_sub(1);
         if exec.applies_pending == 0 {
+            let (wave_id, started_at) = (exec.wave_id, exec.started_at);
             self.reconfig = None;
+            let duration_windows = now.saturating_sub(started_at);
+            self.trace(
+                Some(wave_id),
+                TraceEventKind::WaveCompleted { duration_windows },
+            );
+            if let Some(m) = &self.obs_metrics {
+                m.wave_duration.observe(duration_windows);
+            }
         }
     }
 
@@ -465,17 +526,34 @@ impl Simulation {
         attempts: u32,
         wm: &mut WindowMetrics,
     ) {
-        if let Some(injector) = &mut self.fault {
-            match injector.on_control(ControlClass::Migrate) {
+        let fate = match &mut self.fault {
+            Some(injector) => injector.on_control(ControlClass::Migrate),
+            None => ControlFate::Deliver,
+        };
+        {
+            match fate {
                 ControlFate::Deliver => {}
                 ControlFate::Drop => {
                     wm.dropped_control += 1;
+                    self.trace(
+                        self.wave_hint(),
+                        TraceEventKind::ControlDropped {
+                            class: ControlClass::Migrate,
+                        },
+                    );
                     if attempts + 1 > MAX_MIGRATE_RETRANSMITS {
                         // Retransmissions exhausted: recover the state
                         // from the engine's replicated copy and tell
                         // the operator what happened.
                         wm.reconfig_errors.push(ReconfigError::MigrationLost);
                         wm.migrated_states += 1;
+                        self.trace(
+                            self.wave_hint(),
+                            TraceEventKind::MigrationLost {
+                                to: to_idx,
+                                key: key.value(),
+                            },
+                        );
                         self.apply_migration(to_idx, key, state);
                         return;
                     }
@@ -491,6 +569,13 @@ impl Simulation {
                 }
                 ControlFate::Delay(windows) => {
                     wm.delayed_control += 1;
+                    self.trace(
+                        self.wave_hint(),
+                        TraceEventKind::ControlDelayed {
+                            class: ControlClass::Migrate,
+                            windows,
+                        },
+                    );
                     self.lost_migrations.push(LostMigration {
                         redeliver_at: self.window_index + windows,
                         from: from_idx,
@@ -505,12 +590,21 @@ impl Simulation {
         }
         let from_server = self.pois[from_idx].server;
         let to_server = self.pois[to_idx].server;
+        let state_bytes = state.as_ref().map_or(0, StateValue::size_bytes) + 8;
+        self.trace(
+            self.wave_hint(),
+            TraceEventKind::MigrateSent {
+                from: from_idx,
+                to: to_idx,
+                key: key.value(),
+                bytes: state_bytes,
+            },
+        );
         if from_server == to_server {
             wm.migrated_states += 1;
             self.apply_migration(to_idx, key, state);
             return;
         }
-        let state_bytes = state.as_ref().map_or(0, StateValue::size_bytes) + 8;
         let bytes = self.cluster.message_bytes(state_bytes);
         self.servers[from_server.0].backlog.push_back(NetMsg {
             from_server: from_server.0,
@@ -558,6 +652,13 @@ impl Simulation {
         }
         let exec = self.reconfig.take().expect("checked above");
         self.rollback_wave(&exec);
+        self.trace(
+            Some(exec.wave_id),
+            TraceEventKind::WaveRolledBack {
+                nacked,
+                attempt: exec.attempt,
+            },
+        );
         wm.reconfig_errors.push(if nacked {
             ReconfigError::Nack
         } else {
@@ -569,6 +670,7 @@ impl Simulation {
             // No manager left to retry the wave: give up and fall back
             // to hash routing so data keeps flowing correctly.
             wm.reconfig_errors.push(ReconfigError::Aborted);
+            self.trace(Some(exec.wave_id), TraceEventKind::WaveAborted);
             self.degrade_to_hash(wm);
             return;
         }
@@ -578,6 +680,7 @@ impl Simulation {
                 .wave
                 .deadline_windows
                 .saturating_mul(exec.wave.backoff.max(1).saturating_pow(attempt));
+            self.trace(Some(exec.wave_id), TraceEventKind::WaveRetried { attempt });
             self.enqueue_wave(&exec.plan);
             self.reconfig = Some(ReconfigExec {
                 acks_pending: self.pois.len(),
@@ -586,11 +689,14 @@ impl Simulation {
                 wave: exec.wave,
                 attempt,
                 deadline: now + horizon.max(2),
+                wave_id: exec.wave_id,
+                started_at: exec.started_at,
                 nacked: false,
                 pre_wave_routers: exec.pre_wave_routers,
             });
         } else {
             wm.reconfig_errors.push(ReconfigError::Aborted);
+            self.trace(Some(exec.wave_id), TraceEventKind::WaveAborted);
         }
     }
 
@@ -687,6 +793,7 @@ impl Simulation {
             return;
         }
         self.degraded = true;
+        self.trace(self.wave_hint(), TraceEventKind::DegradedToHash);
         let hash: Arc<dyn KeyRouter> = Arc::new(HashRouter);
         let fields_edges: Vec<EdgeId> = (0..self.topo.edges.len())
             .map(EdgeId)
@@ -738,6 +845,13 @@ impl Simulation {
     /// buffered tuples for the key (front of queue, preserving their
     /// arrival order).
     pub(crate) fn apply_migration(&mut self, to_idx: usize, key: Key, state: Option<StateValue>) {
+        self.trace(
+            self.wave_hint(),
+            TraceEventKind::MigrateApplied {
+                poi: to_idx,
+                key: key.value(),
+            },
+        );
         let poi = &mut self.pois[to_idx];
         if let Some(state) = state {
             poi.state.insert(key, state);

@@ -17,6 +17,9 @@ use crate::cluster::ClusterSpec;
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::key::Key;
 use crate::metrics::{MetricsLog, WindowMetrics};
+use crate::obs::{
+    Counter, EventTracer, Gauge, Histogram, MetricsRegistry, TraceEvent, TraceEventKind,
+};
 use crate::operator::{OpContext, Operator, StateValue};
 use crate::reconfig::{ControlMsg, ReconfigExec, StagedReconf};
 use crate::router::KeyRouter;
@@ -292,6 +295,101 @@ pub struct Simulation {
     pub(crate) last_checkpoint: Option<ClusterCheckpoint>,
     pub(crate) auto_checkpoint_every: Option<u64>,
     pub(crate) lost_migrations: Vec<LostMigration>,
+    // --- observability (see obs/) ---
+    /// Control-plane event ring; `None` until tracing is enabled.
+    pub(crate) tracer: Option<Box<EventTracer>>,
+    /// Registry-backed counters fed once per window; `None` until a
+    /// registry is attached.
+    pub(crate) obs_metrics: Option<SimObsMetrics>,
+    /// Waves started so far; the next wave gets this id.
+    pub(crate) wave_seq: u64,
+    /// Id of the most recently started wave, kept after completion so
+    /// late migrations and buffering events stay attributable.
+    pub(crate) last_wave: Option<u64>,
+}
+
+/// The simulator's registry-backed instruments. Fed from per-window
+/// aggregates at the end of [`Simulation::step`], never per tuple, so
+/// the data-plane hot path is untouched.
+#[derive(Debug, Clone)]
+pub(crate) struct SimObsMetrics {
+    pub(crate) tuples_routed: Counter,
+    pub(crate) tuples_remote: Counter,
+    pub(crate) sink_tuples: Counter,
+    pub(crate) migrated_states: Counter,
+    pub(crate) migration_bytes: Counter,
+    pub(crate) buffered_tuples: Counter,
+    pub(crate) late_forwarded: Counter,
+    pub(crate) dropped_control: Counter,
+    pub(crate) delayed_control: Counter,
+    pub(crate) crashes: Counter,
+    pub(crate) statistics_bytes: Counter,
+    pub(crate) max_queue_depth: Gauge,
+    pub(crate) backlog_messages: Gauge,
+    /// Distribution of per-window maximum tuple latency, in windows.
+    pub(crate) window_latency: Histogram,
+    /// Distribution of completed wave durations, in windows.
+    pub(crate) wave_duration: Histogram,
+}
+
+impl SimObsMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        Self {
+            tuples_routed: reg.counter("sim_tuples_routed_total", "tuples sent on all edges"),
+            tuples_remote: reg.counter(
+                "sim_tuples_remote_total",
+                "tuples that crossed a server boundary",
+            ),
+            sink_tuples: reg.counter("sim_sink_tuples_total", "tuples absorbed by sinks"),
+            migrated_states: reg.counter(
+                "sim_migrated_states_total",
+                "key states moved by reconfiguration waves",
+            ),
+            migration_bytes: reg.counter(
+                "sim_migration_bytes_total",
+                "bytes of key state shipped over the network",
+            ),
+            buffered_tuples: reg.counter(
+                "sim_buffered_tuples_total",
+                "tuples buffered while their key's state was in flight",
+            ),
+            late_forwarded: reg.counter(
+                "sim_late_forwarded_total",
+                "stragglers forwarded from old to new key owners",
+            ),
+            dropped_control: reg.counter(
+                "sim_dropped_control_total",
+                "control messages dropped by fault injection",
+            ),
+            delayed_control: reg.counter(
+                "sim_delayed_control_total",
+                "control messages delayed by fault injection",
+            ),
+            crashes: reg.counter("sim_poi_crashes_total", "instance crashes injected"),
+            statistics_bytes: reg.counter(
+                "sim_statistics_bytes_total",
+                "bytes of ①/② pair-statistics uploads charged to NICs",
+            ),
+            max_queue_depth: reg.gauge(
+                "sim_max_queue_depth",
+                "deepest instance input queue seen in any window",
+            ),
+            backlog_messages: reg.gauge(
+                "sim_backlog_messages",
+                "network messages awaiting delivery at window end",
+            ),
+            window_latency: reg.histogram(
+                "sim_window_latency_windows",
+                "per-window max tuple latency, in windows",
+                &[1, 2, 4, 8, 16, 32, 64],
+            ),
+            wave_duration: reg.histogram(
+                "sim_wave_duration_windows",
+                "completed reconfiguration wave durations, in windows",
+                &[2, 4, 8, 16, 32, 64, 128],
+            ),
+        }
+    }
 }
 
 impl std::fmt::Debug for Simulation {
@@ -430,7 +528,63 @@ impl Simulation {
             last_checkpoint: None,
             auto_checkpoint_every: None,
             lost_migrations: Vec::new(),
+            tracer: None,
+            obs_metrics: None,
+            wave_seq: 0,
+            last_wave: None,
         }
+    }
+
+    /// Enables control-plane event tracing with a ring of `capacity`
+    /// events (idempotent; an existing ring and its contents are
+    /// kept). Only control-plane activity is recorded — waves,
+    /// migrations, faults, first-stalls — so tracing does not perturb
+    /// simulated throughput.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        if self.tracer.is_none() {
+            self.tracer = Some(Box::new(EventTracer::new(capacity)));
+        }
+    }
+
+    /// The event tracer, if tracing is enabled.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&EventTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Drains and returns all traced events (empty when tracing is
+    /// disabled).
+    pub fn take_trace_events(&mut self) -> Vec<TraceEvent> {
+        self.tracer.as_mut().map(|t| t.take()).unwrap_or_default()
+    }
+
+    /// Attaches `registry`: the simulator registers its counters,
+    /// gauges and histograms there and feeds them per-window
+    /// aggregates at the end of every [`step`](Self::step).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs_metrics = Some(SimObsMetrics::register(registry));
+    }
+
+    /// Records one trace event (no-op while tracing is disabled).
+    #[inline]
+    pub(crate) fn trace(&mut self, wave: Option<u64>, kind: TraceEventKind) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            let window = self.window_index;
+            tracer.record(window, window as f64 * self.config.window, wave, kind);
+        }
+    }
+
+    /// Wave id for events that only make sense inside a running wave.
+    #[inline]
+    pub(crate) fn active_wave(&self) -> Option<u64> {
+        self.reconfig.as_ref().map(|e| e.wave_id)
+    }
+
+    /// Wave id for events caused by the latest wave even after it
+    /// finished (late migrations, buffering, straggler forwarding).
+    #[inline]
+    pub(crate) fn wave_hint(&self) -> Option<u64> {
+        self.active_wave().or(self.last_wave)
     }
 
     /// The deployed topology.
@@ -544,6 +698,13 @@ impl Simulation {
             OutKind::Fields { router: slot, .. } => *slot = router,
             _ => panic!("edge is not fields-grouped"),
         }
+        self.trace(
+            self.wave_hint(),
+            TraceEventKind::RouterSwapped {
+                poi: poi.index(),
+                edge: edge.index(),
+            },
+        );
     }
 
     /// Replaces the router on `edge` for every upstream instance at
@@ -594,6 +755,42 @@ impl Simulation {
     /// Panics if `server` is out of range.
     pub fn charge_management_traffic(&mut self, server: ServerId, bytes: u64) {
         self.mgmt_debt[server.0] += bytes as f64;
+    }
+
+    /// Like [`charge_management_traffic`], but attributed to a
+    /// specific instance: records the ① `GET_METRICS` / ②
+    /// `SEND_METRICS` exchange for `poi` in the trace, feeds the
+    /// statistics-bytes counter, and charges the upload to its
+    /// server's NIC. This is the entry point the manager uses when it
+    /// polls instrumented POIs.
+    ///
+    /// While a wave is active the ①/② events are *not* re-emitted —
+    /// the wave start already traced the exchange for every POI
+    /// (see [`Simulation::start_reconfiguration`]) and a second pair
+    /// would double-count the protocol step; only the byte accounting
+    /// is applied then.
+    ///
+    /// [`charge_management_traffic`]: Self::charge_management_traffic
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poi` is out of range.
+    pub fn charge_statistics_upload(&mut self, poi: PoiId, bytes: u64) {
+        let server = self.pois[poi.index()].server;
+        if self.active_wave().is_none() {
+            self.trace(None, TraceEventKind::GetMetrics { poi: poi.index() });
+            self.trace(
+                None,
+                TraceEventKind::SendMetrics {
+                    poi: poi.index(),
+                    bytes,
+                },
+            );
+        }
+        if let Some(obs) = &self.obs_metrics {
+            obs.statistics_bytes.add(bytes);
+        }
+        self.charge_management_traffic(server, bytes);
     }
 
     /// Arms fault injection: the failures scheduled in `plan` fire
@@ -658,6 +855,7 @@ impl Simulation {
         if let Some(wm) = wm {
             wm.crashes += 1;
         }
+        self.trace(self.active_wave(), TraceEventKind::PoiCrashed { poi: idx });
         // A wave participant died: its staged configuration and ack
         // are gone, so the wave cannot complete as sent.
         if let Some(exec) = self.reconfig.as_mut() {
@@ -725,6 +923,7 @@ impl Simulation {
         }
         if kill {
             self.manager_down = true;
+            self.trace(self.active_wave(), TraceEventKind::ManagerKilled);
             // With no wave running there is nothing to wait for: fall
             // back to hash routing immediately. A running wave is given
             // until its deadline, then rolled back and degraded (see
@@ -853,6 +1052,32 @@ impl Simulation {
         wm.max_queue_depth = self.pois.iter().map(|p| p.input.len()).max().unwrap_or(0);
         wm.backlog_messages = self.servers.iter().map(|s| s.backlog.len()).sum();
 
+        // 5b. Feed the attached metrics registry from the finished
+        // window's aggregates — one batch of adds per window, so the
+        // per-tuple hot path never touches an atomic.
+        if let Some(m) = &self.obs_metrics {
+            let (mut routed, mut remote) = (0u64, 0u64);
+            for e in &wm.edges {
+                routed += e.local + e.remote;
+                remote += e.remote;
+            }
+            m.tuples_routed.add(routed);
+            m.tuples_remote.add(remote);
+            m.sink_tuples.add(wm.sink_tuples);
+            m.migrated_states.add(wm.migrated_states);
+            m.migration_bytes.add(wm.migrated_bytes);
+            m.buffered_tuples.add(wm.buffered);
+            m.late_forwarded.add(wm.late_forwarded);
+            m.dropped_control.add(wm.dropped_control);
+            m.delayed_control.add(wm.delayed_control);
+            m.crashes.add(wm.crashes);
+            m.max_queue_depth.max(wm.max_queue_depth as u64);
+            m.backlog_messages.set(wm.backlog_messages as u64);
+            if wm.latency_count > 0 {
+                m.window_latency.observe(wm.latency_window_max);
+            }
+        }
+
         self.window_index += 1;
         self.metrics.push(wm);
 
@@ -952,10 +1177,28 @@ impl Simulation {
                 _ => None,
             };
             if let Some(key) = state_key {
-                // Awaiting migrated state: buffer (paper §3.4).
-                if let Some(buf) = self.pois[idx].pending.get_mut(&key) {
-                    buf.push_back(in_tuple);
+                // Awaiting migrated state: buffer (paper §3.4). The
+                // empty → non-empty transition is traced as one stall
+                // per key (not per tuple).
+                let stalled = match self.pois[idx].pending.get_mut(&key) {
+                    Some(buf) => {
+                        let first = buf.is_empty();
+                        buf.push_back(in_tuple);
+                        Some(first)
+                    }
+                    None => None,
+                };
+                if let Some(first) = stalled {
                     wm.buffered += 1;
+                    if first {
+                        self.trace(
+                            self.wave_hint(),
+                            TraceEventKind::BufferStall {
+                                poi: idx,
+                                key: key.value(),
+                            },
+                        );
+                    }
                     continue;
                 }
                 // State departed to a new owner: forward the straggler.

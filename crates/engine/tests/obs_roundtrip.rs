@@ -1,0 +1,184 @@
+//! Exporter round-trip and tracing-overhead guarantees: events taken
+//! from an instrumented simulation survive JSONL serialization intact,
+//! and enabling observability does not change simulation results.
+
+use std::sync::Arc;
+
+use streamloc_engine::obs::export::{parse_jsonl, to_jsonl};
+use streamloc_engine::{
+    ClusterSpec, ControlClass, CountOperator, FaultEvent, FaultPlan, Grouping, HashRouter, Key,
+    KeyRouter, MetricsRegistry, ModuloRouter, Placement, ReconfigPlan, SimConfig, Simulation,
+    SourceRate, Topology, TraceEventKind, Tuple,
+};
+
+const KEYS: u64 = 12;
+const PARALLELISM: usize = 3;
+const TOTAL: u64 = 9_000;
+
+/// Finite S → A → B chain (mirrors the `fault_recovery` example).
+fn finite_sim() -> Simulation {
+    let mut b = Topology::builder();
+    let s = b.source("S", PARALLELISM, SourceRate::PerSecond(20_000.0), |i| {
+        let mut c = i as u64;
+        let mut left = TOTAL / PARALLELISM as u64;
+        Box::new(move || {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            c = c.wrapping_add(0x9e37_79b9);
+            let k = c % KEYS;
+            Some(Tuple::new([Key::new(k), Key::new(k)], 64))
+        })
+    });
+    let a = b.stateful("A", PARALLELISM, CountOperator::factory());
+    let bb = b.stateful("B", PARALLELISM, CountOperator::factory());
+    b.connect(s, a, Grouping::fields(0));
+    b.connect(a, bb, Grouping::fields(1));
+    let topo = b.build().unwrap();
+    let placement = Placement::aligned(&topo, PARALLELISM);
+    Simulation::new(
+        topo,
+        ClusterSpec::lan_10g(PARALLELISM),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+/// Hash → modulo rekeying of A's input edge.
+fn modulo_plan(sim: &Simulation) -> ReconfigPlan {
+    let topo = sim.topology();
+    let dest = topo.po_by_name("A").unwrap();
+    let edge = topo.in_edges(dest)[0];
+    let src = topo.edge(edge).from();
+    let dest_pois = sim.poi_ids(dest);
+    let routers = sim
+        .poi_ids(src)
+        .into_iter()
+        .map(|p| (p, edge, Arc::new(ModuloRouter) as Arc<dyn KeyRouter>))
+        .collect();
+    let migrations = (0..KEYS)
+        .filter_map(|k| {
+            let key = Key::new(k);
+            let old = HashRouter.route(key, PARALLELISM) as usize;
+            let new = (k % PARALLELISM as u64) as usize;
+            (old != new).then(|| (dest_pois[old], key, dest_pois[new]))
+        })
+        .collect();
+    ReconfigPlan { routers, migrations }
+}
+
+/// Runs one wave under fault injection with tracing on and returns the
+/// drained simulation.
+fn traced_faulty_run() -> Simulation {
+    let mut sim = finite_sim();
+    sim.enable_tracing(4096);
+    let a_poi = sim.poi_ids(sim.topology().po_by_name("A").unwrap())[1];
+    sim.install_fault_plan(
+        FaultPlan::new()
+            .with(FaultEvent::CrashPoi {
+                poi: a_poi.index(),
+                window: 5,
+            })
+            .with(FaultEvent::DropControl {
+                class: ControlClass::Migrate,
+                occurrence: 0,
+            }),
+    );
+    sim.run(4);
+    sim.start_reconfiguration(modulo_plan(&sim)).unwrap();
+    sim.run_until_drained(800);
+    sim
+}
+
+#[test]
+fn jsonl_round_trip_preserves_events() {
+    let mut sim = traced_faulty_run();
+    let events = sim.take_trace_events();
+    assert!(!events.is_empty(), "an instrumented wave must trace events");
+
+    let jsonl = to_jsonl(&events);
+    let parsed = parse_jsonl(&jsonl).expect("exported trace must parse back");
+    assert_eq!(parsed, events, "JSONL round-trip must preserve every event");
+
+    // Every protocol step and both injected faults are present.
+    let has = |pred: &dyn Fn(&TraceEventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+    assert!(has(&|k| matches!(k, TraceEventKind::GetMetrics { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::SendMetrics { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::WaveStarted { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::SendReconf { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::AckReconf { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::Propagate { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::MigrateSent { .. })));
+    assert!(has(&|k| matches!(
+        k,
+        TraceEventKind::ControlDropped {
+            class: ControlClass::Migrate
+        }
+    )));
+    assert!(has(&|k| matches!(k, TraceEventKind::PoiCrashed { .. })));
+
+    // Wave-scoped events all carry the id of the single wave started.
+    let wave_ids: Vec<u64> = events.iter().filter_map(|e| e.wave).collect();
+    assert!(!wave_ids.is_empty());
+    assert!(wave_ids.iter().all(|&w| w == wave_ids[0]));
+}
+
+#[test]
+fn tracing_and_metrics_do_not_change_results() {
+    let run = |instrument: bool| {
+        let mut sim = finite_sim();
+        let registry = Arc::new(MetricsRegistry::new());
+        if instrument {
+            sim.enable_tracing(8192);
+            sim.attach_metrics(&registry);
+        }
+        sim.run(4);
+        sim.start_reconfiguration(modulo_plan(&sim)).unwrap();
+        sim.run_until_drained(800);
+        (
+            sim.metrics().total_sink(),
+            sim.metrics().avg_throughput(2),
+            sim.window_index(),
+        )
+    };
+    let (sink_plain, tput_plain, windows_plain) = run(false);
+    let (sink_traced, tput_traced, windows_traced) = run(true);
+
+    assert_eq!(sink_plain, sink_traced);
+    assert_eq!(windows_plain, windows_traced);
+    let rel = (tput_plain - tput_traced).abs() / tput_plain.max(1.0);
+    assert!(
+        rel < 0.05,
+        "tracing changed avg_throughput by {:.2}% ({tput_plain} vs {tput_traced})",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn registry_counts_agree_with_window_metrics() {
+    let mut sim = finite_sim();
+    let registry = Arc::new(MetricsRegistry::new());
+    sim.enable_tracing(4096);
+    sim.attach_metrics(&registry);
+    sim.run(4);
+    sim.start_reconfiguration(modulo_plan(&sim)).unwrap();
+    sim.run_until_drained(800);
+
+    let windows = sim.metrics().windows();
+    let migrated: u64 = windows.iter().map(|w| w.migrated_states).sum();
+    let snapshot = registry.snapshot();
+    let get = |name: &str| {
+        snapshot
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("metric {name} not registered"))
+            .1
+    };
+    assert_eq!(get("sim_migrated_states_total"), migrated);
+    assert_eq!(get("sim_sink_tuples_total"), sim.metrics().total_sink());
+
+    let text = registry.render_prometheus();
+    assert!(text.contains("# TYPE sim_migrated_states_total counter"));
+    assert!(text.contains("sim_window_latency_windows_bucket{le=\"+Inf\"}"));
+}

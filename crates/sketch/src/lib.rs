@@ -37,7 +37,9 @@
 mod count_min;
 mod exact;
 mod space_saving;
+mod stable_hash;
 
 pub use count_min::CountMin;
 pub use exact::ExactCounter;
 pub use space_saving::{Entry, Estimate, Iter, SpaceSaving};
+pub use stable_hash::{splitmix64, StableHasher};

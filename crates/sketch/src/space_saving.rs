@@ -11,11 +11,13 @@ type BucketId = usize;
 
 const NIL: usize = usize::MAX;
 
-/// Deterministic 64-bit hash shared by the sketches (SipHash with
-/// fixed keys — stable across runs and platforms).
+/// Deterministic 64-bit hash shared by the sketches, built on the
+/// fixed-seed [`StableHasher`](crate::StableHasher) — stable across
+/// runs, platforms and Rust releases (unlike `DefaultHasher`, whose
+/// algorithm is explicitly unspecified).
 pub(crate) fn hash_of<K: Hash + ?Sized>(key: &K) -> u64 {
     use std::hash::Hasher;
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    let mut hasher = crate::StableHasher::new();
     key.hash(&mut hasher);
     hasher.finish()
 }
@@ -35,9 +37,20 @@ pub struct Estimate {
 
 impl Estimate {
     /// Lower bound on the item's true count (`count - error`).
+    ///
+    /// Estimates produced by [`SpaceSaving`] always satisfy
+    /// `error <= count`; a hand-built or corrupted estimate may not,
+    /// so the subtraction saturates at zero instead of overflowing in
+    /// release builds.
     #[must_use]
     pub fn guaranteed(&self) -> u64 {
-        self.count - self.error
+        debug_assert!(
+            self.error <= self.count,
+            "Estimate invariant violated: error {} > count {}",
+            self.error,
+            self.count
+        );
+        self.count.saturating_sub(self.error)
     }
 }
 
@@ -808,6 +821,35 @@ mod tests {
         ss.extend([1, 1, 2]);
         assert_eq!(ss.get(&1).unwrap().count, 2);
         assert_eq!(ss.total(), 3);
+    }
+
+    /// `hash_of` must be identical across runs, platforms and Rust
+    /// releases; these constants were produced by the fixed-seed
+    /// `StableHasher` and any change to them is a determinism break.
+    #[test]
+    fn hash_of_matches_pinned_constants() {
+        assert_eq!(hash_of("streamloc"), 0x6cbc_1369_27d1_dd0a);
+        assert_eq!(hash_of(&42u64), 0xd029_9019_e1e8_5cf6);
+        assert_eq!(hash_of(&7u32), 0x31a6_e27d_24e4_ef88);
+        assert_eq!(hash_of(&(3u64, 9u64)), 0x47f8_a32e_c03e_bac9);
+        assert_eq!(hash_of(&[1u8, 2, 3][..]), 0xca46_8831_3575_0781);
+    }
+
+    #[test]
+    fn guaranteed_is_count_minus_error() {
+        let e = Estimate { count: 10, error: 3 };
+        assert_eq!(e.guaranteed(), 7);
+        let exact = Estimate { count: 5, error: 0 };
+        assert_eq!(exact.guaranteed(), 5);
+    }
+
+    /// A corrupted estimate (`error > count`) must not overflow in
+    /// release builds; the subtraction saturates at zero.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "Estimate invariant violated"))]
+    fn guaranteed_saturates_on_corrupt_estimate() {
+        let corrupt = Estimate { count: 2, error: 5 };
+        assert_eq!(corrupt.guaranteed(), 0);
     }
 
     #[test]

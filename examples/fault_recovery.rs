@@ -19,10 +19,11 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use streamloc::engine::obs::export::write_jsonl;
 use streamloc::engine::{
     ClusterSpec, ControlClass, CountOperator, FaultEvent, FaultPlan, Grouping, HashRouter, Key,
     KeyRouter, ModuloRouter, Placement, ReconfigError, ReconfigPlan, SimConfig, Simulation,
-    SourceRate, Topology, Tuple, WaveConfig,
+    SourceRate, Topology, TraceEvent, TraceEventKind, Tuple, WaveConfig,
 };
 
 const KEYS: u64 = 12;
@@ -119,8 +120,9 @@ fn fault_totals(sim: &Simulation) -> (u64, u64, u64) {
     )
 }
 
-fn crash_plus_dropped_migrate() -> Fingerprint {
+fn crash_plus_dropped_migrate() -> (Fingerprint, Vec<TraceEvent>) {
     let mut sim = finite_sim();
+    sim.enable_tracing(8_192);
     sim.set_auto_checkpoint(Some(2));
     let a_poi = sim.poi_ids(sim.topology().po_by_name("A").unwrap())[1];
     sim.install_fault_plan(
@@ -141,7 +143,68 @@ fn crash_plus_dropped_migrate() -> Fingerprint {
     println!(
         "    drained in {spent} windows  (crashes {crashes}, dropped ctl {dropped}, delayed ctl {delayed})"
     );
-    fingerprint(&sim)
+
+    // The trace must agree with the metrics log and attribute every
+    // fault and protocol step to the right wave and instance.
+    let events = sim.take_trace_events();
+    let crashed: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::PoiCrashed { poi } => Some(poi),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(crashed, vec![a_poi.index()], "crash mis-attributed");
+    assert_eq!(crashed.len() as u64, crashes);
+    let dropped_traced = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                TraceEventKind::ControlDropped {
+                    class: ControlClass::Migrate
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(dropped_traced, dropped, "dropped ⑥ missing from trace");
+    for step in [
+        "get_metrics",
+        "send_metrics",
+        "wave_started",
+        "send_reconf",
+        "ack_reconf",
+        "propagate",
+        "wave_applied",
+        "migrate_sent",
+        "migrate_applied",
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind.name() == step),
+            "protocol step {step} missing from trace"
+        );
+    }
+    // One wave ran: everything wave-attributed carries its id.
+    assert!(events
+        .iter()
+        .filter_map(|e| e.wave)
+        .all(|w| w == 0), "all events must belong to wave 0");
+    let a_pois: Vec<usize> = sim
+        .poi_ids(sim.topology().po_by_name("A").unwrap())
+        .iter()
+        .map(|p| p.index())
+        .collect();
+    assert!(
+        events.iter().all(|e| match e.kind {
+            TraceEventKind::MigrateSent { from, to, .. } =>
+                a_pois.contains(&from) && a_pois.contains(&to),
+            TraceEventKind::MigrateApplied { poi, .. } => a_pois.contains(&poi),
+            _ => true,
+        }),
+        "migrations must stay within A's instances"
+    );
+
+    (fingerprint(&sim), events)
 }
 
 fn main() {
@@ -157,18 +220,29 @@ fn main() {
 
     println!("== 1. POI crash during PROPAGATE + dropped MIGRATE ==");
     println!("  run #1:");
-    let first = crash_plus_dropped_migrate();
+    let (first, trace) = crash_plus_dropped_migrate();
     println!("  run #2:");
-    let second = crash_plus_dropped_migrate();
+    let (second, trace2) = crash_plus_dropped_migrate();
     println!(
         "  sink tuples {} | outcomes identical: {}",
         first.0,
         first == second
     );
     assert_eq!(first, second, "fault injection must be deterministic");
+    assert_eq!(trace, trace2, "event traces must be deterministic too");
+    let trace_path = std::path::Path::new("results").join("fault_recovery_trace.jsonl");
+    std::fs::create_dir_all("results").expect("create results directory");
+    let file = std::fs::File::create(&trace_path).expect("create trace dump");
+    write_jsonl(&trace, std::io::BufWriter::new(file)).expect("write trace dump");
+    println!(
+        "  trace: {} events -> {}",
+        trace.len(),
+        trace_path.display()
+    );
 
     println!("\n== 2. manager death mid-wave ==");
     let mut sim = finite_sim();
+    sim.enable_tracing(8_192);
     sim.install_fault_plan(FaultPlan::new().with(FaultEvent::KillManager { window: 4 }));
     sim.run(4);
     let wave = WaveConfig {
@@ -205,6 +279,14 @@ fn main() {
     }
     println!("  A-state conservation: {total}/{TOTAL} tuples accounted for");
     assert_eq!(total, TOTAL, "manager death must not lose state");
+    let events = sim.take_trace_events();
+    for step in ["manager_killed", "wave_aborted", "degraded_to_hash"] {
+        assert!(
+            events.iter().any(|e| e.kind.name() == step),
+            "failure path event {step} missing from trace"
+        );
+    }
+    println!("  failure path traced: manager_killed → wave_aborted → degraded_to_hash");
 
     println!("\n== 3. random fault plan, seed {seed} ==");
     let mut sim = finite_sim();
