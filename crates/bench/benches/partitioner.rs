@@ -86,5 +86,39 @@ fn bench_partitioners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitioners);
+fn bench_warm_start(c: &mut Criterion) {
+    // The manager's steady-state path: repartition a graph whose
+    // structure barely changed, warm-started from the previous
+    // assignment, vs the cold two-candidate run.
+    let mut group = c.benchmark_group("partition/warm_start");
+    group.sample_size(20);
+    for &vertices in &[10_000usize, 50_000] {
+        let graph = key_graph(vertices, 24, vertices / 2);
+        let hint: Vec<u32> = MultilevelPartitioner::default()
+            .partition(&graph, 6, 1.03, 42)
+            .as_slice()
+            .to_vec();
+        group.bench_with_input(
+            BenchmarkId::new("hinted", vertices),
+            &(&graph, &hint),
+            |b, (graph, hint)| {
+                b.iter(|| {
+                    MultilevelPartitioner::default()
+                        .partition_with_hint(black_box(graph), 6, 1.03, 42, hint)
+                        .edge_cut(graph)
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("cold", vertices), &graph, |b, graph| {
+            b.iter(|| {
+                MultilevelPartitioner::default()
+                    .partition(black_box(graph), 6, 1.03, 42)
+                    .edge_cut(graph)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners, bench_warm_start);
 criterion_main!(benches);

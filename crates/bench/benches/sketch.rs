@@ -4,14 +4,12 @@
 //! dedicated to the application, and not collecting statistics").
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 use streamloc_sketch::{CountMin, ExactCounter, SpaceSaving};
-use streamloc_workloads::Zipf;
+use streamloc_workloads::{SplitMix64, Zipf};
 
 fn zipf_stream(n: usize, domain: usize) -> Vec<u64> {
     let zipf = Zipf::new(domain, 1.0);
-    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng = SplitMix64::new(7);
     (0..n).map(|_| zipf.sample(&mut rng) as u64).collect()
 }
 
@@ -78,5 +76,34 @@ fn bench_merge_and_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_offer, bench_merge_and_query);
+fn bench_offer_weighted(c: &mut Criterion) {
+    // Heavy weights force the documented O(distinct counts) bucket
+    // walk: each offer may leapfrog many buckets instead of the O(1)
+    // amortized unit-increment path.
+    let mut rng = SplitMix64::new(11);
+    let weighted: Vec<(u64, u64)> = zipf_stream(100_000, 1_000_000)
+        .into_iter()
+        .map(|k| (k, 1 + rng.next_u64() % 1_000_000_000))
+        .collect();
+    let mut group = c.benchmark_group("sketch/offer_weighted");
+    group.throughput(Throughput::Elements(weighted.len() as u64));
+    for capacity in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("space_saving_heavy", capacity),
+            &capacity,
+            |b, &capacity| {
+                b.iter(|| {
+                    let mut sketch = SpaceSaving::new(capacity);
+                    for &(k, w) in &weighted {
+                        sketch.offer_weighted(black_box(k), black_box(w));
+                    }
+                    sketch.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offer, bench_offer_weighted, bench_merge_and_query);
 criterion_main!(benches);

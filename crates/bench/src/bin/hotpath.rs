@@ -1,0 +1,16 @@
+//! Hot-path bench: live throughput (batched vs unbatched) and manager
+//! rebuild latency, emitting `BENCH_throughput.json` and
+//! `BENCH_rebuild.json` at the workspace root.
+
+fn main() {
+    let quick = streamloc_bench::quick_mode();
+    let (throughput, tpath) = streamloc_bench::hotpath::bench_throughput(quick);
+    println!("wrote {}", tpath.display());
+    let (_, rpath) = streamloc_bench::hotpath::bench_rebuild(quick);
+    println!("wrote {}", rpath.display());
+    let speedup = throughput.speedup();
+    assert!(
+        speedup >= 2.0,
+        "batched data plane must be >= 2x the unbatched baseline, got {speedup:.2}x"
+    );
+}

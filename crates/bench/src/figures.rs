@@ -11,7 +11,6 @@ use streamloc_engine::{
 use streamloc_workloads::{loc_key, tag_key, TwitterConfig, TwitterWorkload};
 
 use crate::csv::{f1, f3, CsvWriter};
-use rand::rngs::SmallRng;
 use crate::flickr_runs::run_flickr;
 use crate::replay::{replay_locality, tables_from_batch, weekly_imbalance};
 use crate::synthetic_runs::{run_synthetic, RoutingStrategy};
@@ -715,7 +714,7 @@ pub fn ablation_balance(quick: bool) -> PathBuf {
         let mut builder = Topology::builder();
         let s = builder.source("S", servers, SourceRate::Saturate, move |i| {
             let zipf = Zipf::new(keys, 1.2);
-            let mut rng: SmallRng = rand::SeedableRng::seed_from_u64(0x5eed ^ i as u64);
+            let mut rng = streamloc_workloads::SplitMix64::new(0x5eed ^ i as u64);
             Box::new(move || {
                 let k: u64 = zipf.sample(&mut rng) as u64;
                 Some(Tuple::new([Key::new(k)], 256))

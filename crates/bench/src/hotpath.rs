@@ -1,0 +1,365 @@
+//! Hot-path benchmarks: live data-plane throughput (batched vs
+//! unbatched) and manager rebuild latency (cold vs warm-started).
+//!
+//! These are the two budgets the paper treats as first-class: the
+//! per-tuple routing-decision cost (§2) and the time the manager
+//! spends rebuilding tables inside a reconfiguration (§4.4 measures
+//! how fast throughput recovers). The `hotpath` binary runs both on
+//! the synthetic Zipf workload and seeds the bench trajectory with
+//! `BENCH_throughput.json` and `BENCH_rebuild.json` at the workspace
+//! root; EXPERIMENTS.md documents the format.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use streamloc_core::{Manager, ManagerConfig};
+use streamloc_engine::{
+    ClusterSpec, CountOperator, Grouping, Key, LiveConfig, LiveRuntime, MetricsRegistry, Placement,
+    SimConfig, Simulation, SourceRate, Topology, Tuple,
+};
+use streamloc_workloads::{SplitMix64, Zipf};
+
+/// One measured throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputRun {
+    /// Batch size the run used (1 = unbatched baseline).
+    pub batch_size: usize,
+    /// Wall-clock seconds from start to drained join.
+    pub elapsed_s: f64,
+    /// Source tuples over `elapsed_s`.
+    pub tuples_per_s: f64,
+    /// `live_batch_sends_total` after the run.
+    pub batch_sends: u64,
+}
+
+/// Result of the batched-vs-unbatched live throughput bench.
+#[derive(Debug, Clone)]
+pub struct ThroughputBench {
+    /// Tuples each run pushes through the pipeline.
+    pub total_tuples: u64,
+    /// Servers (= parallelism of every operator).
+    pub servers: usize,
+    /// Zipf key-domain size.
+    pub keys: usize,
+    /// One entry per batch size, the `batch_size == 1` baseline first.
+    pub runs: Vec<ThroughputRun>,
+}
+
+impl ThroughputBench {
+    /// Best batched throughput over the unbatched baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let base = self
+            .runs
+            .iter()
+            .find(|r| r.batch_size <= 1)
+            .map_or(1.0, |r| r.tuples_per_s);
+        let best = self
+            .runs
+            .iter()
+            .filter(|r| r.batch_size > 1)
+            .map(|r| r.tuples_per_s)
+            .fold(0.0f64, f64::max);
+        best / base.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// The Zipf pipeline every throughput run deploys: `servers` sources
+/// drawing keys from `Zipf(keys, 1.0)` with the pinned [`SplitMix64`]
+/// stream, feeding two fields-grouped stateful hops — the same
+/// source → A → B chain as the paper's evaluation topology.
+fn zipf_chain(servers: usize, keys: usize, total: u64) -> Topology {
+    let mut b = Topology::builder();
+    let per_source = (total / servers as u64) as usize;
+    // The key stream is drawn up front so the timed region measures
+    // the data plane (route + channel + operator), not the sampler.
+    let stream: Arc<Vec<u64>> = Arc::new({
+        let zipf = Zipf::new(keys, 1.0);
+        let mut rng = SplitMix64::new(0x2a2a);
+        (0..per_source * servers)
+            .map(|_| zipf.sample(&mut rng) as u64)
+            .collect()
+    });
+    let s = b.source("S", servers, SourceRate::Saturate, move |i| {
+        let stream = Arc::clone(&stream);
+        let mut next = i * per_source;
+        let end = (i + 1) * per_source;
+        Box::new(move || {
+            if next == end {
+                return None;
+            }
+            let k = stream[next];
+            next += 1;
+            Some(Tuple::new([Key::new(k), Key::new(k)], 0))
+        })
+    });
+    let a = b.stateful("A", servers, CountOperator::factory());
+    let bb = b.stateful("B", servers, CountOperator::factory());
+    b.connect(s, a, Grouping::fields(0));
+    b.connect(a, bb, Grouping::fields(1));
+    b.build().expect("valid chain")
+}
+
+fn throughput_run(
+    servers: usize,
+    keys: usize,
+    total: u64,
+    batch_size: usize,
+) -> ThroughputRun {
+    let total = (total / servers as u64) * servers as u64;
+    let topo = zipf_chain(servers, keys, total);
+    let placement = Placement::aligned(&topo, servers);
+    let registry = Arc::new(MetricsRegistry::new());
+    let config = LiveConfig {
+        batch_size,
+        metrics: Some(Arc::clone(&registry)),
+        ..LiveConfig::default()
+    };
+    let start = Instant::now();
+    let rt = LiveRuntime::start(topo, placement, servers, config);
+    let reports = rt.join();
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let processed: u64 = reports
+        .iter()
+        .filter(|r| r.po.index() == 1)
+        .map(|r| r.processed)
+        .sum();
+    assert_eq!(processed, total, "pipeline must drain every tuple");
+    let batch_sends = registry
+        .snapshot()
+        .into_iter()
+        .find(|(name, _)| name == "live_batch_sends_total")
+        .map_or(0, |(_, v)| v);
+    ThroughputRun {
+        batch_size,
+        elapsed_s,
+        tuples_per_s: total as f64 / elapsed_s,
+        batch_sends,
+    }
+}
+
+/// Runs the batched-vs-unbatched live throughput bench and writes
+/// `BENCH_throughput.json` at the workspace root.
+pub fn bench_throughput(quick: bool) -> (ThroughputBench, PathBuf) {
+    let servers = 3;
+    let keys = 1_000;
+    let total: u64 = if quick { 400_000 } else { 2_000_000 };
+    println!("Live throughput — Zipf({keys}) chain, {servers} servers, {total} tuples");
+    println!("  batch   elapsed      tuples/s   batch sends");
+    let reps = 5;
+    let mut runs = Vec::new();
+    for batch_size in [1usize, 16, 64, 256] {
+        // Best of `reps`: on a loaded machine the minimum wall time is
+        // the least-perturbed estimate of the pipeline's actual cost.
+        let run = (0..reps)
+            .map(|_| throughput_run(servers, keys, total, batch_size))
+            .max_by(|a, b| a.tuples_per_s.total_cmp(&b.tuples_per_s))
+            .expect("at least one rep");
+        println!(
+            "  {:>5}   {:>6.3}s   {:>9.0}   {:>11}",
+            run.batch_size, run.elapsed_s, run.tuples_per_s, run.batch_sends
+        );
+        runs.push(run);
+    }
+    let bench = ThroughputBench {
+        total_tuples: total,
+        servers,
+        keys,
+        runs,
+    };
+    println!("  speedup (best batched / unbatched): {:.2}x", bench.speedup());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"live_throughput\",\n");
+    json.push_str("  \"workload\": \"zipf\",\n");
+    json.push_str(&format!("  \"zipf_keys\": {},\n", bench.keys));
+    json.push_str(&format!("  \"servers\": {},\n", bench.servers));
+    json.push_str(&format!("  \"total_tuples\": {},\n", bench.total_tuples));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in bench.runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch_size\": {}, \"elapsed_s\": {:.6}, \"tuples_per_s\": {:.1}, \"batch_sends\": {}}}{}\n",
+            r.batch_size,
+            r.elapsed_s,
+            r.tuples_per_s,
+            r.batch_sends,
+            if i + 1 < bench.runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_batched_vs_unbatched\": {:.3}\n",
+        bench.speedup()
+    ));
+    json.push_str("}\n");
+    let path = workspace_root().join("BENCH_throughput.json");
+    fs::write(&path, json).expect("write BENCH_throughput.json");
+    (bench, path)
+}
+
+/// Result of the manager rebuild-latency bench.
+#[derive(Debug, Clone)]
+pub struct RebuildBench {
+    /// Zipf key-domain size per hop side.
+    pub keys: u64,
+    /// Servers in the simulated cluster.
+    pub servers: usize,
+    /// Key pairs the sketches had absorbed before each rebuild.
+    pub pairs_observed: u64,
+    /// First rebuild, no assignment history (milliseconds).
+    pub cold_ms: f64,
+    /// Steady-state rebuild, warm-started from the previous
+    /// assignment (milliseconds).
+    pub warm_ms: f64,
+    /// Steady-state rebuild with `warm_start: false` — the serial
+    /// cold path on the same statistics (milliseconds).
+    pub cold_steady_ms: f64,
+}
+
+/// A Zipf-keyed correlated simulation: key `k` on hop field 0 always
+/// pairs with `k + keys` on field 1, with `k` Zipf-skewed, so the key
+/// graph has `2 * keys` vertices worth of long-tail structure for the
+/// partitioner to chew on.
+fn zipf_sim(servers: usize, keys: u64) -> Simulation {
+    let mut b = Topology::builder();
+    let s = b.source("S", servers, SourceRate::PerSecond(40_000.0), move |i| {
+        let zipf = Zipf::new(keys as usize, 1.0);
+        let mut rng = SplitMix64::new(0x5eed ^ i as u64);
+        Box::new(move || {
+            let k = zipf.sample(&mut rng) as u64;
+            Some(Tuple::new([Key::new(k), Key::new(k + keys)], 64))
+        })
+    });
+    let a = b.stateful("A", servers, CountOperator::factory());
+    let bb = b.stateful("B", servers, CountOperator::factory());
+    b.connect(s, a, Grouping::fields(0));
+    b.connect(a, bb, Grouping::fields(1));
+    let topo = b.build().expect("valid chain");
+    let placement = Placement::aligned(&topo, servers);
+    Simulation::new(
+        topo,
+        ClusterSpec::lan_10g(servers),
+        placement,
+        SimConfig::default(),
+    )
+}
+
+/// Runs the manager rebuild-latency bench and writes
+/// `BENCH_rebuild.json` at the workspace root.
+pub fn bench_rebuild(quick: bool) -> (RebuildBench, PathBuf) {
+    let servers = 4;
+    let keys: u64 = if quick { 2_000 } else { 20_000 };
+    let windows = if quick { 10 } else { 30 };
+
+    // Warm-started manager: first rebuild is cold (no history), the
+    // second warm-starts from the first's assignment.
+    let mut sim = zipf_sim(servers, keys);
+    let mut mgr = Manager::attach(&mut sim, ManagerConfig::default());
+    sim.run(windows);
+    let pairs_observed = mgr.pairs_observed();
+    let t = Instant::now();
+    mgr.reconfigure(&mut sim).expect("cold rebuild");
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    sim.run(windows);
+    let t = Instant::now();
+    mgr.reconfigure(&mut sim).expect("warm rebuild");
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Control: the same steady-state rebuild without warm start.
+    let mut cold_sim = zipf_sim(servers, keys);
+    let mut cold_mgr = Manager::attach(
+        &mut cold_sim,
+        ManagerConfig {
+            warm_start: false,
+            ..ManagerConfig::default()
+        },
+    );
+    cold_sim.run(windows);
+    cold_mgr.reconfigure(&mut cold_sim).expect("control rebuild");
+    cold_sim.run(windows);
+    let t = Instant::now();
+    cold_mgr
+        .reconfigure(&mut cold_sim)
+        .expect("control steady rebuild");
+    let cold_steady_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let bench = RebuildBench {
+        keys,
+        servers,
+        pairs_observed,
+        cold_ms,
+        warm_ms,
+        cold_steady_ms,
+    };
+    println!("Manager rebuild — Zipf({keys}) pairs, {servers} servers");
+    println!("  cold (first rebuild):        {cold_ms:>8.2} ms");
+    println!("  warm (steady state):         {warm_ms:>8.2} ms");
+    println!("  cold control (steady state): {cold_steady_ms:>8.2} ms");
+
+    let json = format!(
+        "{{\n  \"bench\": \"manager_rebuild\",\n  \"workload\": \"zipf\",\n  \"zipf_keys\": {},\n  \"servers\": {},\n  \"quick\": {},\n  \"pairs_observed\": {},\n  \"cold_ms\": {:.3},\n  \"warm_ms\": {:.3},\n  \"cold_steady_ms\": {:.3}\n}}\n",
+        bench.keys,
+        bench.servers,
+        quick,
+        bench.pairs_observed,
+        bench.cold_ms,
+        bench.warm_ms,
+        bench.cold_steady_ms,
+    );
+    let path = workspace_root().join("BENCH_rebuild.json");
+    fs::write(&path, json).expect("write BENCH_rebuild.json");
+    (bench, path)
+}
+
+/// The workspace root, resolved relative to this crate so the binary
+/// works from any working directory.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_run_drains_and_counts_batches() {
+        let run = throughput_run(2, 100, 6_000, 64);
+        assert!(run.tuples_per_s > 0.0);
+        assert!(run.batch_sends > 0, "batched run must send batches");
+        let unbatched = throughput_run(2, 100, 6_000, 1);
+        assert_eq!(unbatched.batch_sends, 0);
+    }
+
+    #[test]
+    fn speedup_compares_best_batched_to_baseline() {
+        let bench = ThroughputBench {
+            total_tuples: 0,
+            servers: 1,
+            keys: 1,
+            runs: vec![
+                ThroughputRun {
+                    batch_size: 1,
+                    elapsed_s: 1.0,
+                    tuples_per_s: 100.0,
+                    batch_sends: 0,
+                },
+                ThroughputRun {
+                    batch_size: 64,
+                    elapsed_s: 1.0,
+                    tuples_per_s: 250.0,
+                    batch_sends: 9,
+                },
+            ],
+        };
+        assert!((bench.speedup() - 2.5).abs() < 1e-9);
+    }
+}

@@ -15,6 +15,7 @@
 pub mod csv;
 pub mod figures;
 pub mod flickr_runs;
+pub mod hotpath;
 pub mod replay;
 pub mod synthetic_runs;
 

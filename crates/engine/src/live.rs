@@ -27,7 +27,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::checkpoint::ClusterCheckpoint;
@@ -50,6 +50,10 @@ use crate::tuple::Tuple;
 enum Msg {
     /// A data tuple.
     Data(Tuple),
+    /// A run of data tuples coalesced by the sender (one channel
+    /// message instead of `len()`); the receiver processes them in
+    /// order, so FIFO semantics are identical to `len()` `Data`s.
+    Batch(Vec<Tuple>),
     /// ③ New configuration for this instance.
     Reconf {
         routers: RouterUpdates,
@@ -141,9 +145,19 @@ pub struct InstanceReport {
 pub struct LiveConfig {
     /// Bounded capacity of each instance inbox (backpressure).
     pub channel_capacity: usize,
+    /// Data-plane batching: tuples per destination are coalesced into
+    /// `Msg::Batch` sends of up to this many tuples. Buffers are
+    /// flushed when full, whenever the worker would otherwise block on
+    /// an empty inbox, and on every control-plane boundary (staging a
+    /// `Reconf`, forwarding `Propagate`, answering a `StateProbe`,
+    /// sending `Eos`) so per-sender FIFO ordering relative to control
+    /// messages is preserved. `0` or `1` disables batching (one
+    /// `Msg::Data` per tuple, the pre-batching behavior).
+    pub batch_size: usize,
     /// Observability registry. When set, the runtime registers its
     /// hot-path counters (tuples routed/remote, migrations, migration
-    /// bytes) there; workers feed them with relaxed atomic increments.
+    /// bytes, batch sends/flushes) there; workers feed them with
+    /// relaxed atomic increments.
     pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
@@ -151,6 +165,7 @@ impl Default for LiveConfig {
     fn default() -> Self {
         Self {
             channel_capacity: 8_192,
+            batch_size: 64,
             metrics: None,
         }
     }
@@ -163,6 +178,9 @@ struct LiveHot {
     tuples_remote: Counter,
     migrations_sent: Counter,
     migration_bytes: Counter,
+    batch_sends: Counter,
+    batch_tuples: Counter,
+    batch_control_flushes: Counter,
 }
 
 impl LiveHot {
@@ -185,12 +203,27 @@ impl LiveHot {
                     "live_migration_bytes_total",
                     "bytes of key state shipped by live waves",
                 ),
+                batch_sends: reg.counter(
+                    "live_batch_sends_total",
+                    "coalesced Batch messages sent on the live data plane",
+                ),
+                batch_tuples: reg.counter(
+                    "live_batch_tuples_total",
+                    "tuples carried inside live Batch messages",
+                ),
+                batch_control_flushes: reg.counter(
+                    "live_batch_control_flushes_total",
+                    "send-buffer flushes forced by control-plane boundaries",
+                ),
             },
             None => Self {
                 tuples_routed: Counter::detached(),
                 tuples_remote: Counter::detached(),
                 migrations_sent: Counter::detached(),
                 migration_bytes: Counter::detached(),
+                batch_sends: Counter::detached(),
+                batch_tuples: Counter::detached(),
+                batch_control_flushes: Counter::detached(),
             },
         }
     }
@@ -219,6 +252,8 @@ struct WorkerShared {
     /// Fault injector consulted for every control message: ③/⑤ by the
     /// wave driver, ⑥ by the sending worker.
     fault: Mutex<Option<FaultInjector>>,
+    /// Data-plane batch size (≤ 1 disables batching).
+    batch_size: usize,
     /// Hot-path observability counters (see [`LiveHot`]).
     hot: LiveHot,
 }
@@ -229,9 +264,75 @@ struct WorkerCtx {
     my_idx: usize,
     rr: usize,
     overrides: HashMap<usize, Arc<dyn KeyRouter>>,
+    /// Per-destination send buffers (indexed by global instance), the
+    /// data-plane batching of `LiveConfig::batch_size`. Edge counters
+    /// and observers still fire per tuple at route time, so locality
+    /// statistics are bit-identical with and without batching.
+    out_buf: Vec<Vec<Tuple>>,
+    batch: usize,
 }
 
 impl WorkerCtx {
+    fn new(po_idx: usize, instance: usize, shared: &WorkerShared) -> Self {
+        Self {
+            po_idx,
+            my_idx: shared.poi_base[po_idx] + instance,
+            rr: instance,
+            overrides: HashMap::new(),
+            out_buf: vec![Vec::new(); shared.inboxes.len()],
+            batch: shared.batch_size,
+        }
+    }
+
+    /// Enqueues (or directly sends) one routed tuple to `dest_idx`.
+    fn push_tuple(&mut self, shared: &WorkerShared, dest_idx: usize, tuple: Tuple) {
+        if self.batch <= 1 {
+            let _ = shared.inboxes[dest_idx].send(Msg::Data(tuple));
+            return;
+        }
+        let buf = &mut self.out_buf[dest_idx];
+        buf.push(tuple);
+        if buf.len() >= self.batch {
+            let batch = std::mem::replace(buf, Vec::with_capacity(self.batch));
+            shared.hot.batch_sends.inc();
+            shared.hot.batch_tuples.add(batch.len() as u64);
+            let _ = shared.inboxes[dest_idx].send(Msg::Batch(batch));
+        }
+    }
+
+    /// Flushes every non-empty send buffer. `control` marks flushes
+    /// forced by a control-plane boundary (counted separately); those
+    /// must happen *before* the control message is sent so per-sender
+    /// FIFO ordering — data routed under the old configuration arrives
+    /// ahead of `Propagate`/`Eos` — is preserved.
+    fn flush_outputs(&mut self, shared: &WorkerShared, control: bool) {
+        if self.batch <= 1 {
+            return;
+        }
+        let mut flushed = false;
+        for dest_idx in 0..self.out_buf.len() {
+            if self.out_buf[dest_idx].is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(&mut self.out_buf[dest_idx]);
+            shared.hot.batch_sends.inc();
+            shared.hot.batch_tuples.add(batch.len() as u64);
+            let _ = shared.inboxes[dest_idx].send(Msg::Batch(batch));
+            flushed = true;
+        }
+        if control && flushed {
+            shared.hot.batch_control_flushes.inc();
+        }
+    }
+
+    /// Drops buffered tuples (crash semantics: unsent output dies with
+    /// the instance, at-most-once).
+    fn discard_outputs(&mut self) {
+        for buf in &mut self.out_buf {
+            buf.clear();
+        }
+    }
+
     fn route_out(&mut self, shared: &WorkerShared, tuple: Tuple) {
         let my_server = shared.server[self.my_idx];
         for out in &shared.outs[self.po_idx] {
@@ -267,7 +368,7 @@ impl WorkerCtx {
             } else {
                 counters.local.fetch_add(1, Ordering::Relaxed);
             }
-            let _ = shared.inboxes[dest_idx].send(Msg::Data(tuple));
+            self.push_tuple(shared, dest_idx, tuple);
         }
     }
 }
@@ -473,6 +574,7 @@ impl LiveRuntime {
             parallelism: parallelism.clone(),
             poi_base: poi_base.clone(),
             fault: Mutex::new(None),
+            batch_size: config.batch_size,
             hot: LiveHot::new(config.metrics.as_deref()),
         });
 
@@ -618,7 +720,11 @@ impl LiveRuntime {
     ///   [`ReconfigError::Nack`] since it could not complete as sent.
     ///
     /// One "window" of [`WaveConfig::deadline_windows`] is interpreted
-    /// as 100 ms here; retry `k` gets `deadline × backoff^k`.
+    /// as 100 ms here; retry `k` gets `deadline × backoff^k`. Injected
+    /// [`ControlFate::Delay`] fates use the same scale: a delay of `d`
+    /// windows holds the message in a coordinator-side timer queue for
+    /// `d × 100 ms` — the coordinator keeps collecting acks meanwhile
+    /// instead of sleeping.
     ///
     /// # Errors
     ///
@@ -667,6 +773,11 @@ impl LiveRuntime {
             (0..n).all(|i| applied.contains(&i) || exited.contains(&i))
         };
 
+        // Delay-injected control messages wait here with their real
+        // due time instead of blocking the coordinator; they are
+        // delivered from the ④/⑥ collection loops as they come due.
+        let mut timers: Vec<(Instant, usize, Msg)> = Vec::new();
+
         let mut last_attempt = 0;
         for attempt in 0..=wave.max_retries {
             last_attempt = attempt;
@@ -678,8 +789,7 @@ impl LiveRuntime {
 
             // ③ stage at every instance that has not applied yet. The
             // injector may drop (recovered by the next attempt) or
-            // delay messages.
-            let mut delayed: Vec<(usize, Msg)> = Vec::new();
+            // delay messages (queued with their configured duration).
             for idx in (0..n).rev() {
                 if applied.contains(&idx) || exited.contains(&idx) {
                     continue;
@@ -696,24 +806,26 @@ impl LiveRuntime {
                         }
                     }
                     ControlFate::Drop => {}
-                    ControlFate::Delay(_) => delayed.push((idx, msg)),
-                }
-            }
-            if !delayed.is_empty() {
-                std::thread::sleep(Duration::from_millis(50));
-                for (idx, msg) in delayed {
-                    if self.shared.inboxes[idx].send(msg).is_err() {
-                        exited.insert(idx);
-                    }
+                    ControlFate::Delay(d) => timers.push((
+                        Instant::now() + Duration::from_millis(100 * d.max(1)),
+                        idx,
+                        msg,
+                    )),
                 }
             }
 
-            // ④ collect acks until the deadline.
+            // ④ collect acks until the deadline, delivering queued
+            // delayed messages as they come due.
             while !staged_done(&acked, &applied, &exited) {
-                let Some(left) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                deliver_due_timers(&self.shared, &mut timers, &applied, &mut exited);
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
                     break;
                 };
-                match self.coord_rx.recv_timeout(left) {
+                let wait = next_timer_due(&timers)
+                    .map_or(left, |due| due.saturating_duration_since(now).min(left));
+                match self.coord_rx.recv_timeout(wait) {
                     Ok(CoordMsg::Ack(idx)) => {
                         acked.insert(idx);
                     }
@@ -723,7 +835,8 @@ impl LiveRuntime {
                     Ok(CoordMsg::Exited(idx)) => {
                         exited.insert(idx);
                     }
-                    Err(_) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
             if !staged_done(&acked, &applied, &exited) {
@@ -735,20 +848,21 @@ impl LiveRuntime {
             // directly at each straggler — the propagates it was
             // waiting for are lost for good.
             if attempt == 0 {
-                let mut delayed_roots = Vec::new();
                 for &root in &self.roots {
                     match self.control_fate(ControlClass::Propagate) {
                         ControlFate::Deliver => {
-                            let _ = self.shared.inboxes[root].send(Msg::Propagate);
+                            // A dead root is tracked immediately — the
+                            // wave must not wait on its apply.
+                            if self.shared.inboxes[root].send(Msg::Propagate).is_err() {
+                                exited.insert(root);
+                            }
                         }
                         ControlFate::Drop => {}
-                        ControlFate::Delay(_) => delayed_roots.push(root),
-                    }
-                }
-                if !delayed_roots.is_empty() {
-                    std::thread::sleep(Duration::from_millis(50));
-                    for root in delayed_roots {
-                        let _ = self.shared.inboxes[root].send(Msg::Propagate);
+                        ControlFate::Delay(d) => timers.push((
+                            Instant::now() + Duration::from_millis(100 * d.max(1)),
+                            root,
+                            Msg::Propagate,
+                        )),
                     }
                 }
             } else {
@@ -764,10 +878,15 @@ impl LiveRuntime {
 
             // ⑥ wait for every instance to apply, until the deadline.
             while !apply_done(&applied, &exited) {
-                let Some(left) = deadline.checked_duration_since(Instant::now()).filter(|d| !d.is_zero()) else {
+                deliver_due_timers(&self.shared, &mut timers, &applied, &mut exited);
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
                     break;
                 };
-                match self.coord_rx.recv_timeout(left) {
+                let wait = next_timer_due(&timers)
+                    .map_or(left, |due| due.saturating_duration_since(now).min(left));
+                match self.coord_rx.recv_timeout(wait) {
                     Ok(CoordMsg::Ack(idx)) => {
                         acked.insert(idx);
                     }
@@ -777,7 +896,8 @@ impl LiveRuntime {
                     Ok(CoordMsg::Exited(idx)) => {
                         exited.insert(idx);
                     }
-                    Err(_) => break,
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
             if apply_done(&applied, &exited) {
@@ -877,6 +997,38 @@ impl LiveRuntime {
     }
 }
 
+/// Delivers every delay-injected control message whose due time has
+/// passed. Timers aimed at an instance that already finished the wave
+/// are dropped (stale); a failed send marks the target as exited so
+/// the wave never waits on a dead instance.
+fn deliver_due_timers(
+    shared: &WorkerShared,
+    timers: &mut Vec<(Instant, usize, Msg)>,
+    applied: &HashSet<usize>,
+    exited: &mut HashSet<usize>,
+) {
+    let now = Instant::now();
+    let mut i = 0;
+    while i < timers.len() {
+        if timers[i].0 > now {
+            i += 1;
+            continue;
+        }
+        let (_, idx, msg) = timers.swap_remove(i);
+        if applied.contains(&idx) || exited.contains(&idx) {
+            continue;
+        }
+        if shared.inboxes[idx].send(msg).is_err() {
+            exited.insert(idx);
+        }
+    }
+}
+
+/// Earliest due time among the queued delayed control messages.
+fn next_timer_due(timers: &[(Instant, usize, Msg)]) -> Option<Instant> {
+    timers.iter().map(|t| t.0).min()
+}
+
 fn source_loop(
     po_idx: usize,
     instance: usize,
@@ -886,13 +1038,8 @@ fn source_loop(
     successors: Vec<usize>,
     rx: Receiver<Msg>,
 ) -> InstanceReport {
-    let my_idx = shared.poi_base[po_idx] + instance;
-    let mut ctx = WorkerCtx {
-        po_idx,
-        my_idx,
-        rr: instance,
-        overrides: HashMap::new(),
-    };
+    let mut ctx = WorkerCtx::new(po_idx, instance, &shared);
+    let my_idx = ctx.my_idx;
     let mut emitted = 0u64;
     let mut staged: Option<RouterUpdates> = None;
     let mut down = false;
@@ -907,10 +1054,14 @@ fn source_loop(
         while let Ok(msg) = rx.try_recv() {
             match msg {
                 Msg::Reconf { routers, .. } => {
+                    ctx.flush_outputs(&shared, true);
                     staged = Some(routers);
                     let _ = shared.coord.send(CoordMsg::Ack(my_idx));
                 }
                 Msg::Propagate | Msg::ForceApply => {
+                    // Tuples routed under the old tables must reach
+                    // their destinations before the wave does.
+                    ctx.flush_outputs(&shared, true);
                     if let Some(routers) = staged.take() {
                         for (edge, router) in routers {
                             ctx.overrides.insert(edge.index(), router);
@@ -922,12 +1073,16 @@ fn source_loop(
                     let _ = shared.coord.send(CoordMsg::Applied(my_idx));
                 }
                 Msg::StateProbe(reply) => {
+                    ctx.flush_outputs(&shared, true);
                     let _ = reply.send(HashMap::new());
                 }
                 // A crashed source stays down: restarting the
                 // generator would replay its whole stream.
-                Msg::Crash { .. } => down = true,
-                Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos => {}
+                Msg::Crash { .. } => {
+                    ctx.discard_outputs();
+                    down = true;
+                }
+                Msg::Data { .. } | Msg::Batch { .. } | Msg::Migrate { .. } | Msg::Eos => {}
             }
         }
         if down || shared.stop.load(Ordering::Relaxed) {
@@ -950,6 +1105,10 @@ fn source_loop(
             break;
         }
         if let Some(d) = batch_sleep {
+            // A rate-limited source is about to idle: hand off what it
+            // has so downstream latency stays bounded by the rate, not
+            // by the batch size.
+            ctx.flush_outputs(&shared, false);
             std::thread::sleep(d);
         }
     }
@@ -962,6 +1121,7 @@ fn source_loop(
                 let _ = shared.coord.send(CoordMsg::Ack(my_idx));
             }
             Msg::Propagate | Msg::ForceApply => {
+                ctx.flush_outputs(&shared, true);
                 if let Some(routers) = staged.take() {
                     for (edge, router) in routers {
                         ctx.overrides.insert(edge.index(), router);
@@ -975,9 +1135,13 @@ fn source_loop(
             Msg::StateProbe(reply) => {
                 let _ = reply.send(HashMap::new());
             }
-            Msg::Data { .. } | Msg::Migrate { .. } | Msg::Eos | Msg::Crash { .. } => {}
+            Msg::Data { .. } | Msg::Batch { .. } | Msg::Migrate { .. } | Msg::Eos
+            | Msg::Crash { .. } => {}
         }
     }
+    // The last partial batches must precede the end-of-stream tokens
+    // in every destination channel (per-sender FIFO).
+    ctx.flush_outputs(&shared, true);
     for &succ in &successors {
         let _ = shared.inboxes[succ].send(Msg::Eos);
     }
@@ -1003,13 +1167,8 @@ fn operator_loop(
     shared: Arc<WorkerShared>,
     rx: Receiver<Msg>,
 ) -> InstanceReport {
-    let my_idx = shared.poi_base[po_idx] + instance;
-    let mut ctx = WorkerCtx {
-        po_idx,
-        my_idx,
-        rr: instance,
-        overrides: HashMap::new(),
-    };
+    let mut ctx = WorkerCtx::new(po_idx, instance, &shared);
+    let my_idx = ctx.my_idx;
     let mut observers: ObserverSlots = {
         let mut map: ObserverSlots = HashMap::new();
         for (e, f, o) in observers {
@@ -1097,15 +1256,25 @@ fn operator_loop(
     // instead of hanging `join()` forever.
     let mut draining = false;
     loop {
-        let msg = if draining {
-            match rx.recv_timeout(Duration::from_millis(500)) {
-                Ok(m) => m,
-                Err(_) => break,
-            }
-        } else {
-            match rx.recv() {
-                Ok(m) => m,
-                Err(_) => break,
+        // Drain the inbox opportunistically; only once it runs dry are
+        // the send buffers flushed and the thread allowed to block —
+        // so batches fill under load but never sit on an idle worker.
+        let msg = match rx.try_recv() {
+            Ok(m) => m,
+            Err(crossbeam::channel::TryRecvError::Disconnected) => break,
+            Err(crossbeam::channel::TryRecvError::Empty) => {
+                ctx.flush_outputs(&shared, false);
+                if draining {
+                    match rx.recv_timeout(Duration::from_millis(500)) {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    }
+                } else {
+                    match rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    }
+                }
             }
         };
         match msg {
@@ -1126,11 +1295,31 @@ fn operator_loop(
                     processed += 1;
                 }
             }
+            Msg::Batch(tuples) => {
+                for tuple in tuples {
+                    if process_one(
+                        tuple,
+                        op.as_mut(),
+                        stateful,
+                        state_field,
+                        &mut state,
+                        &mut pending,
+                        &departed,
+                        &mut observers,
+                        &mut emitted,
+                        &mut ctx,
+                        &shared,
+                    ) {
+                        processed += 1;
+                    }
+                }
+            }
             Msg::Reconf {
                 routers,
                 send,
                 receive,
             } => {
+                ctx.flush_outputs(&shared, true);
                 departed.clear();
                 for key in receive {
                     pending.entry(key).or_default();
@@ -1149,6 +1338,11 @@ fn operator_loop(
                 awaiting = awaiting.saturating_sub(1);
                 if awaiting == 0 {
                     if let Some((routers, send)) = staged.take() {
+                        // Flush before switching tables and forwarding
+                        // the wave: buffered tuples were routed under
+                        // the old configuration and must stay ahead of
+                        // the `Propagate`s in every channel.
+                        ctx.flush_outputs(&shared, true);
                         for (edge, router) in routers {
                             ctx.overrides.insert(edge.index(), router);
                         }
@@ -1218,11 +1412,15 @@ fn operator_loop(
                 }
             }
             Msg::StateProbe(reply) => {
+                // Checkpoint boundary: buffered output is handed off
+                // before the state snapshot is taken.
+                ctx.flush_outputs(&shared, true);
                 let _ = reply.send(state.clone());
             }
             Msg::Crash { restore } => {
                 // Everything volatile is lost; respawn from the
                 // checkpoint the coordinator carried over.
+                ctx.discard_outputs();
                 state = restore;
                 pending.clear();
                 departed.clear();
@@ -1279,6 +1477,9 @@ fn operator_loop(
             }
         }
     }
+    // Per-sender FIFO: the final partial batches precede this
+    // instance's `Eos` tokens.
+    ctx.flush_outputs(&shared, true);
     for &succ in &successors {
         let _ = shared.inboxes[succ].send(Msg::Eos);
     }
@@ -1491,6 +1692,132 @@ mod tests {
         let hop_locality = rt.edge_locality(hop);
         let _ = rt.join();
         assert_eq!(hop_locality, 1.0, "aligned modulo must stay local");
+    }
+
+    /// Runs a topology and reduces it to a fully deterministic
+    /// fingerprint: every instance's sorted `(key, count)` state plus
+    /// every edge's `(local, remote)` transfer totals.
+    type Fingerprint = (
+        Vec<(usize, usize, Vec<(Key, u64)>)>,
+        Vec<(u64, u64)>,
+    );
+
+    fn run_fingerprint(topo: Topology, servers: usize, config: LiveConfig) -> Fingerprint {
+        let placement = Placement::aligned(&topo, servers);
+        let rt = LiveRuntime::start(topo, placement, servers, config);
+        let shared = Arc::clone(&rt.shared);
+        let reports = rt.join();
+        let mut states = Vec::new();
+        for r in &reports {
+            let mut kv: Vec<(Key, u64)> = r
+                .state
+                .iter()
+                .map(|(&k, v)| (k, v.as_count().unwrap()))
+                .collect();
+            kv.sort_unstable();
+            states.push((r.po.index(), r.instance, kv));
+        }
+        let edges = shared
+            .edges
+            .iter()
+            .map(|e| {
+                (
+                    e.local.load(Ordering::Relaxed),
+                    e.remote.load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        (states, edges)
+    }
+
+    #[test]
+    fn batching_is_bit_identical_to_unbatched() {
+        // Same topology, same deterministic fields-grouped routing:
+        // the only difference is how many tuples ride per channel
+        // message. Final operator state AND the per-edge locality
+        // statistics must match exactly.
+        let unbatched = run_fingerprint(
+            chain(3, 12, 30_000),
+            3,
+            LiveConfig {
+                batch_size: 1,
+                ..LiveConfig::default()
+            },
+        );
+        for batch_size in [2, 64, 1024] {
+            let batched = run_fingerprint(
+                chain(3, 12, 30_000),
+                3,
+                LiveConfig {
+                    batch_size,
+                    ..LiveConfig::default()
+                },
+            );
+            assert_eq!(
+                unbatched, batched,
+                "batch_size={batch_size} changed state or locality stats"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_counters_account_for_every_tuple() {
+        let total = 20_000u64;
+        let metrics = Arc::new(MetricsRegistry::new());
+        let topo = chain(2, 8, total);
+        let placement = Placement::aligned(&topo, 2);
+        let rt = LiveRuntime::start(
+            topo,
+            placement,
+            2,
+            LiveConfig {
+                batch_size: 64,
+                metrics: Some(Arc::clone(&metrics)),
+                ..LiveConfig::default()
+            },
+        );
+        let _ = rt.join();
+        let get = |name: &str| {
+            metrics
+                .snapshot()
+                .into_iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("{name} not registered"))
+        };
+        // Two hops, every tuple crosses both: routed == 2 × total, and
+        // in batch mode every routed tuple travels inside a batch.
+        assert_eq!(get("live_tuples_routed_total"), 2 * total);
+        assert_eq!(get("live_batch_tuples_total"), 2 * total);
+        let sends = get("live_batch_sends_total");
+        assert!(sends > 0, "no batches sent");
+        assert!(
+            sends < 2 * total,
+            "batching did not coalesce ({sends} sends for {} tuples)",
+            2 * total
+        );
+    }
+
+    #[test]
+    fn unbatched_mode_sends_no_batches() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let topo = chain(2, 8, 5_000);
+        let placement = Placement::aligned(&topo, 2);
+        let rt = LiveRuntime::start(
+            topo,
+            placement,
+            2,
+            LiveConfig {
+                batch_size: 1,
+                metrics: Some(Arc::clone(&metrics)),
+                ..LiveConfig::default()
+            },
+        );
+        let _ = rt.join();
+        let snap = metrics.snapshot();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        assert_eq!(get("live_batch_sends_total"), Some(0));
+        assert_eq!(get("live_batch_tuples_total"), Some(0));
     }
 
     #[test]

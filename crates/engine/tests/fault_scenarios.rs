@@ -332,6 +332,83 @@ fn live_wave_retries_after_lost_send_reconf() {
     assert_eq!(a_processed, total);
 }
 
+/// An injected ③ `SEND_RECONF` delay must be honored to its configured
+/// duration (here 2 windows = 200 ms), not a fixed 50 ms: the staged
+/// acks cannot all arrive before the delayed message is delivered, so
+/// the whole wave takes at least that long — and still completes.
+#[test]
+fn live_control_delay_honors_configured_duration() {
+    let total = 120_000u64;
+    let (topo, s, a, hop) = live_chain(total, 40_000.0);
+    let placement = Placement::aligned(&topo, PARALLELISM);
+    let rt = LiveRuntime::start(topo, placement, PARALLELISM, LiveConfig::default());
+    rt.install_fault_plan(FaultPlan::new().with(FaultEvent::DelayControl {
+        class: ControlClass::SendReconf,
+        occurrence: 0,
+        windows: 2,
+    }));
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let started = std::time::Instant::now();
+    rt.reconfigure_with_deadline(live_modulo_plan(s, a, hop), WaveConfig::default())
+        .expect("a delayed stage message still completes the wave");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= std::time::Duration::from_millis(200),
+        "2-window delay must hold the wave ≥ 200 ms, took {elapsed:?}"
+    );
+    let reports = rt.join();
+    let a_processed: u64 = reports
+        .iter()
+        .filter(|r| r.po == a)
+        .map(|r| r.processed)
+        .sum();
+    assert_eq!(a_processed, total);
+}
+
+/// Regression for the ⑤ release path: when a delayed root `Propagate`
+/// hits a root that exited mid-wave, the failed send must mark the
+/// root as exited so the wave finishes with a `Nack` on its *first*
+/// attempt instead of burning the deadline and its retries.
+#[test]
+fn live_delayed_propagate_to_dead_root_nacks_fast() {
+    // A tiny stream: the sources exhaust (and exit) long before the
+    // 3-window delayed Propagate comes due.
+    let (topo, s, a, hop) = live_chain(3_000, 1_000_000.0);
+    let placement = Placement::aligned(&topo, PARALLELISM);
+    let rt = LiveRuntime::start(topo, placement, PARALLELISM, LiveConfig::default());
+    let mut plan = FaultPlan::new();
+    for occurrence in 0..PARALLELISM as u64 {
+        plan = plan.with(FaultEvent::DelayControl {
+            class: ControlClass::Propagate,
+            occurrence,
+            windows: 3,
+        });
+    }
+    rt.install_fault_plan(plan);
+    // Let the pipeline drain completely: every instance exits.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let wave = WaveConfig {
+        deadline_windows: 20,
+        max_retries: 2,
+        backoff: 2,
+    };
+    let started = std::time::Instant::now();
+    let result = rt.reconfigure_with_deadline(live_modulo_plan(s, a, hop), wave);
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(result, Err(ReconfigError::Nack)),
+        "exited participants must surface as Nack, got {result:?}"
+    );
+    // First-attempt budget is 2 s; with exits tracked on the failed
+    // delayed sends the wave must conclude well within it rather than
+    // retrying (which would take over 6 s).
+    assert!(
+        elapsed < std::time::Duration::from_secs(2),
+        "wave stalled {elapsed:?} instead of tracking the dead roots"
+    );
+    let _ = rt.join();
+}
+
 /// Crash-respawn in the live runtime: after `checkpoint_now`, a
 /// crashed instance comes back with the checkpointed counts and keeps
 /// counting forward from there.

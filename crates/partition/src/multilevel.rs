@@ -46,18 +46,10 @@ impl MultilevelPartitioner {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl Partitioner for MultilevelPartitioner {
-    fn partition(&self, graph: &Graph, k: usize, alpha: f64, seed: u64) -> Partition {
-        crate::validate_args(k, alpha);
-        let n = graph.vertex_count();
-        if n == 0 {
-            return Partition::from_parts(Vec::new(), k);
-        }
-        if k == 1 {
-            return Partition::from_parts(vec![0; n], k);
-        }
+    /// The full multilevel pipeline: coarsen, partition the coarsest
+    /// graph, uncoarsen with refinement at every level.
+    fn multilevel_candidate(&self, graph: &Graph, k: usize, alpha: f64, seed: u64) -> Partition {
         let mut rng = SmallRng::seed_from_u64(seed);
         let cap = weight_cap(graph, k, alpha);
         let coarse_limit = self.coarse_target.max(8 * k);
@@ -104,27 +96,149 @@ impl Partitioner for MultilevelPartitioner {
             );
             parts = fine_parts;
         }
-        let multilevel = Partition::from_parts(parts, k);
+        Partition::from_parts(parts, k)
+    }
 
-        // Second candidate: refined fine-level greedy. On graphs whose
-        // clusters exceed the balance cap (hub-and-spoke key graphs),
-        // coarse chunks can misplace whole groups in ways boundary
-        // refinement cannot repair, while the fine-grained greedy
-        // splits groups exactly at the cap; keep whichever candidate
-        // cuts less (Metis likewise tries several initial partitions).
+    /// The fine-level greedy candidate with boundary refinement. On
+    /// graphs whose clusters exceed the balance cap (hub-and-spoke key
+    /// graphs), coarse chunks can misplace whole groups in ways
+    /// boundary refinement cannot repair, while the fine-grained
+    /// greedy splits groups exactly at the cap (Metis likewise tries
+    /// several initial partitions).
+    fn refined_greedy_candidate(
+        graph: &Graph,
+        k: usize,
+        alpha: f64,
+        seed: u64,
+        refine_passes: usize,
+    ) -> Partition {
+        let cap = weight_cap(graph, k, alpha);
         let mut greedy_parts = GreedyPartitioner
             .partition(graph, k, alpha, seed)
             .as_slice()
             .to_vec();
-        refine_boundary(
-            graph,
-            &mut greedy_parts,
-            k,
-            cap,
-            self.refine_passes,
-            seed ^ 0x91ee,
-        );
-        let greedy = Partition::from_parts(greedy_parts, k);
+        refine_boundary(graph, &mut greedy_parts, k, cap, refine_passes, seed ^ 0x91ee);
+        Partition::from_parts(greedy_parts, k)
+    }
+
+    /// Warm-started repartitioning: instead of coarsening from
+    /// scratch, seed the assignment from `hint` — the part each vertex
+    /// held in the *previous* window's partition (`u32::MAX` for
+    /// vertices with no history) — then place the unhinted vertices
+    /// greedily and run boundary refinement. Steady-state
+    /// repartitioning therefore only moves the keys whose
+    /// neighborhoods actually changed, at the cost of one refinement
+    /// sweep instead of a full multilevel pipeline.
+    ///
+    /// The output is deterministic in `(graph, hint, seed)` and always
+    /// a valid `k`-way partition; a hint that no longer fits the
+    /// balance cap is partially discarded (cap-respecting prefix wins,
+    /// overflow vertices are re-placed greedily).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `alpha < 1.0`, or `hint.len()` differs from
+    /// the graph's vertex count.
+    #[must_use]
+    pub fn partition_with_hint(
+        &self,
+        graph: &Graph,
+        k: usize,
+        alpha: f64,
+        seed: u64,
+        hint: &[u32],
+    ) -> Partition {
+        crate::validate_args(k, alpha);
+        let n = graph.vertex_count();
+        assert_eq!(hint.len(), n, "hint length must match the vertex count");
+        if n == 0 {
+            return Partition::from_parts(Vec::new(), k);
+        }
+        if k == 1 {
+            return Partition::from_parts(vec![0; n], k);
+        }
+        let cap = weight_cap(graph, k, alpha);
+        let mut parts = vec![UNMATCHED; n];
+        let mut loads = vec![0u64; k];
+        // Seed from the hint while it fits the cap (visit order is the
+        // vertex order, so the outcome is deterministic).
+        for v in 0..n {
+            let h = hint[v];
+            if h != UNMATCHED && (h as usize) < k {
+                let w = graph.vertex_weight(v as VertexId);
+                if loads[h as usize] + w <= cap {
+                    parts[v] = h;
+                    loads[h as usize] += w;
+                }
+            }
+        }
+        // Place unhinted (and cap-overflow) vertices where they
+        // connect most strongly, like the greedy initial partitioner.
+        let mut conn = vec![0u64; k];
+        for v in 0..n {
+            if parts[v] != UNMATCHED {
+                continue;
+            }
+            let w = graph.vertex_weight(v as VertexId);
+            for c in conn.iter_mut() {
+                *c = 0;
+            }
+            for (u, ew) in graph.neighbors(v as VertexId) {
+                let p = parts[u as usize];
+                if p != UNMATCHED {
+                    conn[p as usize] += ew;
+                }
+            }
+            let mut best: Option<usize> = None;
+            for p in 0..k {
+                if loads[p] + w > cap {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        conn[p] > conn[b] || (conn[p] == conn[b] && loads[p] < loads[b])
+                    }
+                };
+                if better {
+                    best = Some(p);
+                }
+            }
+            let p = best.unwrap_or_else(|| {
+                // Cap infeasible everywhere (degenerate hint): fall
+                // back to the lightest part, like the greedy baseline.
+                (0..k).min_by_key(|&p| loads[p]).expect("k > 0")
+            });
+            parts[v] = p as u32;
+            loads[p] += w;
+        }
+        refine_boundary(graph, &mut parts, k, cap, self.refine_passes, seed ^ 0x3a3a);
+        Partition::from_parts(parts, k)
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn partition(&self, graph: &Graph, k: usize, alpha: f64, seed: u64) -> Partition {
+        crate::validate_args(k, alpha);
+        let n = graph.vertex_count();
+        if n == 0 {
+            return Partition::from_parts(Vec::new(), k);
+        }
+        if k == 1 {
+            return Partition::from_parts(vec![0; n], k);
+        }
+        // The two candidates are independent; compute them on separate
+        // threads (scoped: no allocation outlives the call, no extra
+        // dependencies) and keep whichever cuts less.
+        let (multilevel, greedy) = std::thread::scope(|s| {
+            let ml = s.spawn(|| self.multilevel_candidate(graph, k, alpha, seed));
+            let greedy =
+                Self::refined_greedy_candidate(graph, k, alpha, seed, self.refine_passes);
+            (
+                ml.join().expect("multilevel candidate thread panicked"),
+                greedy,
+            )
+        });
         if greedy.edge_cut(graph) < multilevel.edge_cut(graph) {
             greedy
         } else {
@@ -348,5 +462,81 @@ mod tests {
     fn rejects_bad_alpha() {
         let g = Graph::builder().build();
         let _ = MultilevelPartitioner::default().partition(&g, 2, 0.5, 0);
+    }
+
+    #[test]
+    fn warm_start_preserves_an_optimal_hint() {
+        // Hinting the previous (optimal) assignment must keep it:
+        // refinement finds no improving move, so no key migrates.
+        let g = clustered(4, 8);
+        let ml = MultilevelPartitioner::default();
+        let cold = ml.partition(&g, 4, 1.05, 11);
+        assert_eq!(cold.edge_cut(&g), 3);
+        let hint: Vec<u32> = cold.as_slice().to_vec();
+        let warm = ml.partition_with_hint(&g, 4, 1.05, 11, &hint);
+        assert_eq!(warm.as_slice(), cold.as_slice(), "optimal hint was perturbed");
+    }
+
+    #[test]
+    fn warm_start_without_history_still_partitions() {
+        let g = clustered(4, 8);
+        let ml = MultilevelPartitioner::default();
+        let hint = vec![u32::MAX; g.vertex_count()];
+        let p = ml.partition_with_hint(&g, 4, 1.05, 7, &hint);
+        assert_eq!(p.len(), g.vertex_count());
+        let cap = crate::weight_cap(&g, 4, 1.05);
+        let max = *p.part_weights(&g).iter().max().unwrap();
+        assert!(max <= cap, "part weight {max} exceeds cap {cap}");
+        // Greedy seeding + refinement still finds the cluster cut.
+        assert_eq!(p.edge_cut(&g), 3);
+    }
+
+    #[test]
+    fn warm_start_repairs_a_partially_stale_hint() {
+        // Half the hint points at the wrong cluster's part; the warm
+        // path must still land within cap and close to the optimum.
+        let g = clustered(4, 8);
+        let ml = MultilevelPartitioner::default();
+        let cold = ml.partition(&g, 4, 1.05, 11);
+        let mut hint: Vec<u32> = cold.as_slice().to_vec();
+        for (v, h) in hint.iter_mut().enumerate() {
+            if v % 2 == 0 {
+                *h = u32::MAX; // new key, no history
+            }
+        }
+        let warm = ml.partition_with_hint(&g, 4, 1.05, 11, &hint);
+        let cap = crate::weight_cap(&g, 4, 1.05);
+        let max = *warm.part_weights(&g).iter().max().unwrap();
+        assert!(max <= cap);
+        assert!(
+            warm.edge_cut(&g) <= cold.edge_cut(&g) + 2,
+            "warm cut {} far above cold cut {}",
+            warm.edge_cut(&g),
+            cold.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn warm_start_respects_cap_against_overloaded_hint() {
+        // A hint cramming everything into part 0 must be partially
+        // discarded, never violating the balance cap.
+        let g = clustered(4, 8);
+        let ml = MultilevelPartitioner::default();
+        let hint = vec![0u32; g.vertex_count()];
+        let p = ml.partition_with_hint(&g, 4, 1.05, 3, &hint);
+        let cap = crate::weight_cap(&g, 4, 1.05);
+        let max = *p.part_weights(&g).iter().max().unwrap();
+        assert!(max <= cap, "part weight {max} exceeds cap {cap}");
+    }
+
+    #[test]
+    fn warm_start_is_deterministic() {
+        let g = clustered(3, 10);
+        let ml = MultilevelPartitioner::default();
+        let hint: Vec<u32> = (0..g.vertex_count() as u32).map(|v| v % 3).collect();
+        assert_eq!(
+            ml.partition_with_hint(&g, 3, 1.1, 5, &hint),
+            ml.partition_with_hint(&g, 3, 1.1, 5, &hint)
+        );
     }
 }

@@ -14,6 +14,18 @@ fn weighted_stream() -> impl Strategy<Value = Vec<(u16, u64)>> {
     prop::collection::vec((0u16..32, 1u64..50), 0..500)
 }
 
+/// A weighted stream whose weights span nine orders of magnitude, so
+/// a single offer must leapfrog many distinct count buckets — the
+/// documented O(distinct counts) walk in `offer_weighted`.
+fn heavy_weighted_stream() -> impl Strategy<Value = Vec<(u16, u64)>> {
+    let weight = (0u8..3, 1u64..1_000).prop_map(|(mag, base)| match mag {
+        0 => base,
+        1 => base * 1_000,
+        _ => base * 1_000_000_000,
+    });
+    prop::collection::vec((0u16..32, weight), 0..300)
+}
+
 proptest! {
     #[test]
     fn count_bounds_hold(stream in stream(), capacity in 1usize..32) {
@@ -92,6 +104,53 @@ proptest! {
             let truth = oracle.count(entry.key);
             prop_assert!(entry.count >= truth);
             prop_assert!(entry.count - entry.error <= truth);
+        }
+    }
+
+    #[test]
+    fn heavy_weighted_bounds_hold(
+        stream in heavy_weighted_stream(), capacity in 1usize..16,
+    ) {
+        let mut sketch = SpaceSaving::new(capacity);
+        let mut oracle = ExactCounter::new();
+        for &(k, w) in &stream {
+            sketch.offer_weighted(k, w);
+            oracle.offer_weighted(k, w);
+        }
+        sketch.check_invariants();
+        prop_assert_eq!(sketch.total(), oracle.total());
+        let counts: Vec<u64> = sketch.iter().map(|e| e.count).collect();
+        prop_assert!(counts.windows(2).all(|w| w[0] >= w[1]),
+            "iter must stay sorted after bucket walks");
+        for entry in sketch.iter() {
+            let truth = oracle.count(entry.key);
+            prop_assert!(entry.count >= truth,
+                "count {} underestimates true {}", entry.count, truth);
+            prop_assert!(entry.count - entry.error <= truth,
+                "guaranteed {} exceeds true {}", entry.count - entry.error, truth);
+        }
+        if sketch.len() == capacity {
+            prop_assert!(sketch.min_count() <= sketch.total() / capacity as u64);
+        }
+    }
+
+    #[test]
+    fn heavy_weighted_is_exact_without_eviction(
+        stream in heavy_weighted_stream(),
+    ) {
+        // Capacity covers the whole 0..32 domain: no evictions, so
+        // every estimate must be exact with zero error regardless of
+        // how far each weighted offer jumps.
+        let mut sketch = SpaceSaving::new(32);
+        let mut oracle = ExactCounter::new();
+        for &(k, w) in &stream {
+            sketch.offer_weighted(k, w);
+            oracle.offer_weighted(k, w);
+        }
+        sketch.check_invariants();
+        for entry in sketch.iter() {
+            prop_assert_eq!(entry.error, 0);
+            prop_assert_eq!(entry.count, oracle.count(entry.key));
         }
     }
 

@@ -6,10 +6,9 @@
 //! ordered" — so the generator draws `(tag, country)` pairs from a
 //! fixed affinity map with Zipf-skewed marginals.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use streamloc_engine::{splitmix64, Key, Tuple, TupleSource};
 
+use crate::rng::SplitMix64;
 use crate::zipf::Zipf;
 
 /// Key-space offset separating tag keys from country keys.
@@ -105,7 +104,7 @@ impl FlickrWorkload {
     #[must_use]
     pub fn source(&self, instance: usize) -> Box<dyn TupleSource> {
         let this = self.clone();
-        let mut rng = SmallRng::seed_from_u64(splitmix64(
+        let mut rng = SplitMix64::new(splitmix64(
             self.cfg.seed ^ (instance as u64).wrapping_mul(0x5151),
         ));
         Box::new(move || {
@@ -121,7 +120,7 @@ impl FlickrWorkload {
     /// and replay experiments.
     #[must_use]
     pub fn batch(&self, n: usize, stream_seed: u64) -> Vec<(Key, Key)> {
-        let mut rng = SmallRng::seed_from_u64(splitmix64(self.cfg.seed ^ stream_seed));
+        let mut rng = SplitMix64::new(splitmix64(self.cfg.seed ^ stream_seed));
         (0..n)
             .map(|_| {
                 let (tag, country) = self.draw(&mut rng);
@@ -130,7 +129,7 @@ impl FlickrWorkload {
             .collect()
     }
 
-    fn draw(&self, rng: &mut SmallRng) -> (usize, usize) {
+    fn draw(&self, rng: &mut SplitMix64) -> (usize, usize) {
         let tag = self.zipf_tag.sample(rng);
         let country = if rng.gen_bool(self.cfg.correlation) {
             self.affinity(tag)

@@ -22,11 +22,13 @@
 
 mod flickr;
 mod logs;
+mod rng;
 mod synthetic;
 mod twitter;
 mod zipf;
 
 pub use flickr::{country_key, tag_key as flickr_tag_key, FlickrConfig, FlickrWorkload, TAG_KEY_BASE};
+pub use rng::SplitMix64;
 pub use logs::{service_key, signature_key, LogsConfig, LogsWorkload, SIGNATURE_KEY_BASE};
 pub use synthetic::SyntheticWorkload;
 pub use twitter::{

@@ -10,10 +10,9 @@
 //! for a stretch, stressing load balance exactly like the Twitter
 //! generator's flash events.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use streamloc_engine::{splitmix64, Key, Tuple, TupleSource};
 
+use crate::rng::SplitMix64;
 use crate::zipf::Zipf;
 
 /// Key-space offset separating signature keys from service keys.
@@ -116,7 +115,7 @@ impl LogsWorkload {
     #[must_use]
     pub fn source(&self, instance: usize) -> Box<dyn TupleSource> {
         let this = self.clone();
-        let mut rng = SmallRng::seed_from_u64(splitmix64(
+        let mut rng = SplitMix64::new(splitmix64(
             self.cfg.seed ^ (instance as u64).wrapping_mul(0xcafe),
         ));
         let mut incident: Option<(usize, usize, u64)> = None; // service, sig, left
@@ -151,7 +150,7 @@ impl LogsWorkload {
     /// analysis, without incidents.
     #[must_use]
     pub fn batch(&self, n: usize, stream_seed: u64) -> Vec<(Key, Key)> {
-        let mut rng = SmallRng::seed_from_u64(splitmix64(self.cfg.seed ^ stream_seed));
+        let mut rng = SplitMix64::new(splitmix64(self.cfg.seed ^ stream_seed));
         (0..n)
             .map(|_| {
                 let signature = self.zipf_signature.sample(&mut rng);

@@ -1,8 +1,8 @@
 //! The synthetic workload of paper §4.2.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use streamloc_engine::{Key, Tuple, TupleSource};
+
+use crate::rng::SplitMix64;
 
 /// Synthetic tuples `(i, j, padding)` with a controllable fraction of
 /// correlated (`i == j`) tuples — the workload of paper §4.2.
@@ -77,7 +77,7 @@ impl SyntheticWorkload {
         let n = self.parallelism as u64;
         let locality = self.locality;
         let padding = self.padding;
-        let mut rng = SmallRng::seed_from_u64(self.seed ^ (instance as u64).wrapping_mul(0x9e37));
+        let mut rng = SplitMix64::new(self.seed ^ (instance as u64).wrapping_mul(0x9e37));
         let i = instance as u64;
         Box::new(move || {
             let j = if rng.gen_bool(locality) {

@@ -12,10 +12,9 @@
 //!   (à la `#nevertrump` in Fig. 10) bind a hashtag to one location
 //!   for a few days.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use streamloc_engine::{splitmix64, Key};
 
+use crate::rng::SplitMix64;
 use crate::zipf::Zipf;
 
 /// Key-space offset separating hashtag keys from location keys.
@@ -179,15 +178,15 @@ impl TwitterWorkload {
     /// Flash events started during `week`.
     #[must_use]
     pub fn events(&self, week: usize) -> Vec<FlashEvent> {
-        let mut rng = SmallRng::seed_from_u64(splitmix64(
+        let mut rng = SplitMix64::new(splitmix64(
             self.cfg.seed ^ 0xe4e7 ^ (week as u64).wrapping_mul(0x2545),
         ));
         (0..self.cfg.events_per_week)
             .map(|_| FlashEvent {
-                location: rng.gen_range(0..self.cfg.locations),
-                hashtag: rng.gen_range(0..100.min(self.cfg.hashtags)),
-                start_day: week * DAYS_PER_WEEK + rng.gen_range(0..5usize),
-                duration_days: rng.gen_range(2..4),
+                location: rng.gen_range_usize(0..self.cfg.locations),
+                hashtag: rng.gen_range_usize(0..100.min(self.cfg.hashtags)),
+                start_day: week * DAYS_PER_WEEK + rng.gen_range_usize(0..5),
+                duration_days: rng.gen_range_usize(2..4),
             })
             .collect()
     }
@@ -203,13 +202,13 @@ impl TwitterWorkload {
         for w in week.saturating_sub(1)..=week {
             active_events.extend(self.events(w).into_iter().filter(|e| e.active_on(day)));
         }
-        let mut rng = SmallRng::seed_from_u64(splitmix64(
+        let mut rng = SplitMix64::new(splitmix64(
             self.cfg.seed ^ (day as u64).wrapping_mul(0x9e37_79b9),
         ));
         let mut out = Vec::with_capacity(self.cfg.tuples_per_day);
         for _ in 0..self.cfg.tuples_per_day {
             if !active_events.is_empty() && rng.gen_bool(self.cfg.event_intensity) {
-                let ev = active_events[rng.gen_range(0..active_events.len())];
+                let ev = active_events[rng.gen_range_usize(0..active_events.len())];
                 out.push((loc_key(ev.location), tag_key(ev.hashtag)));
                 continue;
             }
@@ -218,12 +217,12 @@ impl TwitterWorkload {
                 // A hashtag born this week, never seen before.
                 self.cfg.hashtags
                     + week * self.cfg.fresh_per_week
-                    + rng.gen_range(0..self.cfg.fresh_per_week.max(1))
+                    + rng.gen_range_usize(0..self.cfg.fresh_per_week.max(1))
             } else if rng.gen_bool(self.cfg.correlation) && !affiliated[loc].is_empty() {
                 // Zipf-skewed pick within the location's affiliated
                 // tags (log-uniform index ≈ Zipf with s = 1).
                 let list = &affiliated[loc];
-                let u: f64 = rng.gen();
+                let u = rng.next_f64();
                 let idx = (((list.len() + 1) as f64).powf(u) as usize).saturating_sub(1);
                 list[idx.min(list.len() - 1)]
             } else {

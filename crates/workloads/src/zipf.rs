@@ -1,6 +1,6 @@
 //! A seeded Zipf sampler.
 
-use rand::Rng;
+use crate::rng::SplitMix64;
 
 /// Zipf-distributed ranks over `0..n`: rank `r` is drawn with
 /// probability proportional to `1 / (r + 1)^s`.
@@ -16,11 +16,10 @@ use rand::Rng;
 /// # Example
 ///
 /// ```
-/// use rand::{rngs::SmallRng, SeedableRng};
-/// use streamloc_workloads::Zipf;
+/// use streamloc_workloads::{SplitMix64, Zipf};
 ///
 /// let zipf = Zipf::new(1000, 1.0);
-/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut rng = SplitMix64::new(7);
 /// let r = zipf.sample(&mut rng);
 /// assert!(r < 1000);
 /// ```
@@ -66,8 +65,8 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..len()`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 
@@ -89,13 +88,11 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn ranks_in_support() {
         let z = Zipf::new(10, 1.2);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 10);
         }
@@ -104,7 +101,7 @@ mod tests {
     #[test]
     fn skew_favors_low_ranks() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SplitMix64::new(2);
         let mut counts = [0u32; 100];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
@@ -133,8 +130,8 @@ mod tests {
     #[test]
     fn deterministic_for_seed() {
         let z = Zipf::new(1000, 1.0);
-        let mut a = SmallRng::seed_from_u64(42);
-        let mut b = SmallRng::seed_from_u64(42);
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut a), z.sample(&mut b));
         }
