@@ -1,5 +1,5 @@
-//! Hot-path bench: live throughput (batched vs unbatched) and manager
-//! rebuild latency, emitting `BENCH_throughput.json` and
+//! Hot-path bench: live throughput (unbatched vs batched vs columnar)
+//! and manager rebuild latency, emitting `BENCH_throughput.json` and
 //! `BENCH_rebuild.json` at the workspace root.
 
 fn main() {
@@ -12,5 +12,10 @@ fn main() {
     assert!(
         speedup >= 2.0,
         "batched data plane must be >= 2x the unbatched baseline, got {speedup:.2}x"
+    );
+    let columnar = throughput.columnar_speedup();
+    assert!(
+        columnar >= 1.5,
+        "columnar data plane must be >= 1.5x the batched path, got {columnar:.2}x"
     );
 }

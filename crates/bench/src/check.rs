@@ -1,0 +1,234 @@
+//! Bench regression checker: compares the latest hot-path smoke run
+//! (`BENCH_throughput.json`, `BENCH_rebuild.json`) against the
+//! committed `BENCH_baseline.json`.
+//!
+//! Throughput regressions beyond the tolerance **fail** the check (CI
+//! gates on them); rebuild-latency drift only **warns**, because the
+//! partitioner's wall time is far noisier across machines than the
+//! data plane's tuples/second. The JSON involved is the fixed format
+//! written by [`crate::hotpath`], so the parsing here is a small
+//! hand-rolled scan — no serialization dependency.
+
+use std::fmt::Write as _;
+
+/// Fraction of the baseline a throughput mode may lose before the
+/// check fails (>20% regression fails, per EXPERIMENTS.md).
+pub const THROUGHPUT_TOLERANCE: f64 = 0.20;
+
+/// Fractional rebuild-latency growth over baseline that triggers a
+/// warning.
+pub const REBUILD_TOLERANCE: f64 = 0.20;
+
+/// Minimum best-columnar over best-batched ratio the data plane must
+/// hold, independent of the baseline file.
+pub const MIN_COLUMNAR_SPEEDUP: f64 = 1.5;
+
+/// Extracts the number following `"key":` in `json`, if present.
+///
+/// Only suitable for the flat, machine-written bench JSON — it scans
+/// for the quoted key and parses the first numeric token after the
+/// colon.
+#[must_use]
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Best `tuples_per_s` among the throughput runs labelled `mode`, or
+/// `None` when the mode never appears.
+#[must_use]
+pub fn best_mode_throughput(json: &str, mode: &str) -> Option<f64> {
+    let tag = format!("\"mode\": \"{mode}\"");
+    let mut best: Option<f64> = None;
+    let mut rest = json;
+    while let Some(at) = rest.find(&tag) {
+        rest = &rest[at + tag.len()..];
+        let object = &rest[..rest.find('}').unwrap_or(rest.len())];
+        if let Some(v) = extract_number(object, "tuples_per_s") {
+            best = Some(best.map_or(v, |b: f64| b.max(v)));
+        }
+    }
+    best
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Human-readable lines for every comparison made.
+    pub lines: Vec<String>,
+    /// Hard failures (throughput regressions, missing data).
+    pub failures: Vec<String>,
+    /// Soft warnings (rebuild latency drift).
+    pub warnings: Vec<String>,
+}
+
+impl CheckReport {
+    /// Whether the check passed (warnings do not fail it).
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+fn check_mode(report: &mut CheckReport, throughput: &str, baseline: &str, mode: &str) {
+    let base_key = format!("throughput_{mode}_tuples_per_s");
+    let Some(base) = extract_number(baseline, &base_key) else {
+        report
+            .failures
+            .push(format!("baseline is missing \"{base_key}\""));
+        return;
+    };
+    let Some(now) = best_mode_throughput(throughput, mode) else {
+        report
+            .failures
+            .push(format!("BENCH_throughput.json has no \"{mode}\" runs"));
+        return;
+    };
+    let ratio = now / base.max(f64::MIN_POSITIVE);
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "  {mode:<9}  baseline {base:>12.0} t/s   now {now:>12.0} t/s   ({ratio:>5.2}x)"
+    );
+    report.lines.push(line);
+    if ratio < 1.0 - THROUGHPUT_TOLERANCE {
+        report.failures.push(format!(
+            "{mode} throughput regressed {:.0}% vs baseline (tolerance {:.0}%)",
+            (1.0 - ratio) * 100.0,
+            THROUGHPUT_TOLERANCE * 100.0
+        ));
+    }
+}
+
+fn check_rebuild(report: &mut CheckReport, rebuild: &str, baseline: &str, key: &str) {
+    let base_key = format!("rebuild_{key}");
+    let (Some(base), Some(now)) = (
+        extract_number(baseline, &base_key),
+        extract_number(rebuild, key),
+    ) else {
+        report
+            .warnings
+            .push(format!("rebuild \"{key}\" missing from baseline or run"));
+        return;
+    };
+    let ratio = now / base.max(f64::MIN_POSITIVE);
+    report.lines.push(format!(
+        "  {key:<14}  baseline {base:>8.2} ms    now {now:>8.2} ms    ({ratio:>5.2}x)"
+    ));
+    if ratio > 1.0 + REBUILD_TOLERANCE {
+        report.warnings.push(format!(
+            "{key} grew {:.0}% vs baseline (warn-only, tolerance {:.0}%)",
+            (ratio - 1.0) * 100.0,
+            REBUILD_TOLERANCE * 100.0
+        ));
+    }
+}
+
+/// Compares one throughput + rebuild run against the baseline.
+///
+/// Fails on: any mode regressing more than [`THROUGHPUT_TOLERANCE`],
+/// a missing mode, or a best-columnar/best-batched ratio below
+/// [`MIN_COLUMNAR_SPEEDUP`]. Rebuild latency drift only warns.
+#[must_use]
+pub fn check(baseline: &str, throughput: &str, rebuild: &str) -> CheckReport {
+    let mut report = CheckReport::default();
+    for mode in ["unbatched", "batched", "columnar"] {
+        check_mode(&mut report, throughput, baseline, mode);
+    }
+    if let (Some(batched), Some(columnar)) = (
+        best_mode_throughput(throughput, "batched"),
+        best_mode_throughput(throughput, "columnar"),
+    ) {
+        let speedup = columnar / batched.max(f64::MIN_POSITIVE);
+        report
+            .lines
+            .push(format!("  columnar / batched speedup: {speedup:.2}x"));
+        if speedup < MIN_COLUMNAR_SPEEDUP {
+            report.failures.push(format!(
+                "columnar speedup {speedup:.2}x below the {MIN_COLUMNAR_SPEEDUP:.1}x floor"
+            ));
+        }
+    }
+    check_rebuild(&mut report, rebuild, baseline, "warm_ms");
+    check_rebuild(&mut report, rebuild, baseline, "cold_steady_ms");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+  "bench": "hotpath_baseline",
+  "throughput_unbatched_tuples_per_s": 1000.0,
+  "throughput_batched_tuples_per_s": 2000.0,
+  "throughput_columnar_tuples_per_s": 4000.0,
+  "rebuild_warm_ms": 10.0,
+  "rebuild_cold_steady_ms": 8.0
+}"#;
+
+    fn throughput(unbatched: f64, batched: f64, columnar: f64) -> String {
+        format!(
+            r#"{{"runs": [
+  {{"mode": "unbatched", "batch_size": 1, "tuples_per_s": {unbatched}}},
+  {{"mode": "batched", "batch_size": 64, "tuples_per_s": {batched}}},
+  {{"mode": "batched", "batch_size": 256, "tuples_per_s": {}}},
+  {{"mode": "columnar", "batch_size": 256, "tuples_per_s": {columnar}}}
+]}}"#,
+            batched / 2.0
+        )
+    }
+
+    const REBUILD: &str = r#"{"warm_ms": 11.0, "cold_steady_ms": 7.5}"#;
+
+    #[test]
+    fn extracts_numbers_and_bests() {
+        assert_eq!(extract_number(BASELINE, "rebuild_warm_ms"), Some(10.0));
+        assert_eq!(extract_number(BASELINE, "absent"), None);
+        let t = throughput(900.0, 2100.0, 4000.0);
+        assert_eq!(best_mode_throughput(&t, "batched"), Some(2100.0));
+        assert_eq!(best_mode_throughput(&t, "absent"), None);
+    }
+
+    #[test]
+    fn passes_within_tolerance() {
+        let report = check(BASELINE, &throughput(900.0, 1900.0, 4100.0), REBUILD);
+        assert!(report.ok(), "failures: {:?}", report.failures);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn fails_on_throughput_regression() {
+        let report = check(BASELINE, &throughput(900.0, 1900.0, 3000.0), REBUILD);
+        assert!(!report.ok());
+        assert!(report.failures.iter().any(|f| f.contains("columnar")));
+    }
+
+    #[test]
+    fn fails_below_columnar_speedup_floor() {
+        // No mode regressed >20%, but columnar/batched fell under 1.5x.
+        let report = check(BASELINE, &throughput(1000.0, 2600.0, 3700.0), REBUILD);
+        assert!(!report.ok());
+        assert!(report.failures.iter().any(|f| f.contains("floor")));
+    }
+
+    #[test]
+    fn rebuild_drift_only_warns() {
+        let slow = r#"{"warm_ms": 30.0, "cold_steady_ms": 8.0}"#;
+        let report = check(BASELINE, &throughput(1000.0, 2000.0, 4000.0), slow);
+        assert!(report.ok());
+        assert!(report.warnings.iter().any(|w| w.contains("warm_ms")));
+    }
+
+    #[test]
+    fn missing_baseline_mode_fails() {
+        let report = check("{}", &throughput(1.0, 2.0, 3.0), REBUILD);
+        assert!(!report.ok());
+        assert_eq!(report.failures.len(), 3);
+    }
+}

@@ -1,5 +1,6 @@
-//! Hot-path benchmarks: live data-plane throughput (batched vs
-//! unbatched) and manager rebuild latency (cold vs warm-started).
+//! Hot-path benchmarks: live data-plane throughput (unbatched vs
+//! batched vs columnar) and manager rebuild latency (cold vs
+//! warm-started).
 //!
 //! These are the two budgets the paper treats as first-class: the
 //! per-tuple routing-decision cost (§2) and the time the manager
@@ -24,6 +25,10 @@ use streamloc_workloads::{SplitMix64, Zipf};
 /// One measured throughput run.
 #[derive(Debug, Clone, Copy)]
 pub struct ThroughputRun {
+    /// Data-plane mode: `"unbatched"`, `"batched"` (per-tuple
+    /// processing inside batches, the PR-3 path), or `"columnar"`
+    /// (run-length routing + batched operator dispatch).
+    pub mode: &'static str,
     /// Batch size the run used (1 = unbatched baseline).
     pub batch_size: usize,
     /// Wall-clock seconds from start to drained join.
@@ -48,21 +53,27 @@ pub struct ThroughputBench {
 }
 
 impl ThroughputBench {
+    /// Best throughput among runs of `mode`, 0.0 when absent.
+    #[must_use]
+    pub fn best(&self, mode: &str) -> f64 {
+        self.runs
+            .iter()
+            .filter(|r| r.mode == mode)
+            .map(|r| r.tuples_per_s)
+            .fold(0.0f64, f64::max)
+    }
+
     /// Best batched throughput over the unbatched baseline.
     #[must_use]
     pub fn speedup(&self) -> f64 {
-        let base = self
-            .runs
-            .iter()
-            .find(|r| r.batch_size <= 1)
-            .map_or(1.0, |r| r.tuples_per_s);
-        let best = self
-            .runs
-            .iter()
-            .filter(|r| r.batch_size > 1)
-            .map(|r| r.tuples_per_s)
-            .fold(0.0f64, f64::max);
-        best / base.max(f64::MIN_POSITIVE)
+        self.best("batched") / self.best("unbatched").max(f64::MIN_POSITIVE)
+    }
+
+    /// Best columnar throughput over the best per-tuple batched run —
+    /// what the run-length data plane buys beyond channel batching.
+    #[must_use]
+    pub fn columnar_speedup(&self) -> f64 {
+        self.best("columnar") / self.best("batched").max(f64::MIN_POSITIVE)
     }
 }
 
@@ -106,6 +117,7 @@ fn throughput_run(
     servers: usize,
     keys: usize,
     total: u64,
+    mode: &'static str,
     batch_size: usize,
 ) -> ThroughputRun {
     let total = (total / servers as u64) * servers as u64;
@@ -114,6 +126,7 @@ fn throughput_run(
     let registry = Arc::new(MetricsRegistry::new());
     let config = LiveConfig {
         batch_size,
+        columnar: mode == "columnar",
         metrics: Some(Arc::clone(&registry)),
         ..LiveConfig::default()
     };
@@ -133,6 +146,7 @@ fn throughput_run(
         .find(|(name, _)| name == "live_batch_sends_total")
         .map_or(0, |(_, v)| v);
     ThroughputRun {
+        mode,
         batch_size,
         elapsed_s,
         tuples_per_s: total as f64 / elapsed_s,
@@ -147,19 +161,28 @@ pub fn bench_throughput(quick: bool) -> (ThroughputBench, PathBuf) {
     let keys = 1_000;
     let total: u64 = if quick { 400_000 } else { 2_000_000 };
     println!("Live throughput — Zipf({keys}) chain, {servers} servers, {total} tuples");
-    println!("  batch   elapsed      tuples/s   batch sends");
+    println!("  mode        batch   elapsed      tuples/s   batch sends");
     let reps = 5;
     let mut runs = Vec::new();
-    for batch_size in [1usize, 16, 64, 256] {
+    let configs: [(&'static str, usize); 7] = [
+        ("unbatched", 1),
+        ("batched", 16),
+        ("batched", 64),
+        ("batched", 256),
+        ("columnar", 16),
+        ("columnar", 64),
+        ("columnar", 256),
+    ];
+    for (mode, batch_size) in configs {
         // Best of `reps`: on a loaded machine the minimum wall time is
         // the least-perturbed estimate of the pipeline's actual cost.
         let run = (0..reps)
-            .map(|_| throughput_run(servers, keys, total, batch_size))
+            .map(|_| throughput_run(servers, keys, total, mode, batch_size))
             .max_by(|a, b| a.tuples_per_s.total_cmp(&b.tuples_per_s))
             .expect("at least one rep");
         println!(
-            "  {:>5}   {:>6.3}s   {:>9.0}   {:>11}",
-            run.batch_size, run.elapsed_s, run.tuples_per_s, run.batch_sends
+            "  {:<9}   {:>5}   {:>6.3}s   {:>9.0}   {:>11}",
+            run.mode, run.batch_size, run.elapsed_s, run.tuples_per_s, run.batch_sends
         );
         runs.push(run);
     }
@@ -169,7 +192,11 @@ pub fn bench_throughput(quick: bool) -> (ThroughputBench, PathBuf) {
         keys,
         runs,
     };
-    println!("  speedup (best batched / unbatched): {:.2}x", bench.speedup());
+    println!("  speedup (best batched / unbatched):  {:.2}x", bench.speedup());
+    println!(
+        "  speedup (best columnar / batched):   {:.2}x",
+        bench.columnar_speedup()
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -182,7 +209,8 @@ pub fn bench_throughput(quick: bool) -> (ThroughputBench, PathBuf) {
     json.push_str("  \"runs\": [\n");
     for (i, r) in bench.runs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"batch_size\": {}, \"elapsed_s\": {:.6}, \"tuples_per_s\": {:.1}, \"batch_sends\": {}}}{}\n",
+            "    {{\"mode\": \"{}\", \"batch_size\": {}, \"elapsed_s\": {:.6}, \"tuples_per_s\": {:.1}, \"batch_sends\": {}}}{}\n",
+            r.mode,
             r.batch_size,
             r.elapsed_s,
             r.tuples_per_s,
@@ -192,8 +220,12 @@ pub fn bench_throughput(quick: bool) -> (ThroughputBench, PathBuf) {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"speedup_batched_vs_unbatched\": {:.3}\n",
+        "  \"speedup_batched_vs_unbatched\": {:.3},\n",
         bench.speedup()
+    ));
+    json.push_str(&format!(
+        "  \"speedup_columnar_vs_batched\": {:.3}\n",
+        bench.columnar_speedup()
     ));
     json.push_str("}\n");
     let path = workspace_root().join("BENCH_throughput.json");
@@ -332,34 +364,37 @@ mod tests {
 
     #[test]
     fn throughput_run_drains_and_counts_batches() {
-        let run = throughput_run(2, 100, 6_000, 64);
+        let run = throughput_run(2, 100, 6_000, "batched", 64);
         assert!(run.tuples_per_s > 0.0);
         assert!(run.batch_sends > 0, "batched run must send batches");
-        let unbatched = throughput_run(2, 100, 6_000, 1);
+        let columnar = throughput_run(2, 100, 6_000, "columnar", 64);
+        assert!(columnar.batch_sends > 0, "columnar run must send batches");
+        let unbatched = throughput_run(2, 100, 6_000, "unbatched", 1);
         assert_eq!(unbatched.batch_sends, 0);
     }
 
     #[test]
-    fn speedup_compares_best_batched_to_baseline() {
+    fn speedups_compare_best_per_mode() {
+        let run = |mode, batch_size, tuples_per_s| ThroughputRun {
+            mode,
+            batch_size,
+            elapsed_s: 1.0,
+            tuples_per_s,
+            batch_sends: 0,
+        };
         let bench = ThroughputBench {
             total_tuples: 0,
             servers: 1,
             keys: 1,
             runs: vec![
-                ThroughputRun {
-                    batch_size: 1,
-                    elapsed_s: 1.0,
-                    tuples_per_s: 100.0,
-                    batch_sends: 0,
-                },
-                ThroughputRun {
-                    batch_size: 64,
-                    elapsed_s: 1.0,
-                    tuples_per_s: 250.0,
-                    batch_sends: 9,
-                },
+                run("unbatched", 1, 100.0),
+                run("batched", 64, 250.0),
+                run("batched", 256, 200.0),
+                run("columnar", 64, 500.0),
             ],
         };
         assert!((bench.speedup() - 2.5).abs() < 1e-9);
+        assert!((bench.columnar_speedup() - 2.0).abs() < 1e-9);
+        assert_eq!(bench.best("missing"), 0.0);
     }
 }

@@ -2,7 +2,23 @@
 
 use std::collections::HashMap;
 
-use streamloc_engine::{Counter, HashRouter, Key, KeyRouter};
+use streamloc_engine::{
+    key_run_len, push_dest_run, Counter, DestRun, HashRouter, Key, KeyRouter,
+};
+
+/// How one key resolved against the table; cached in the `route_batch`
+/// memo so repeated keys also skip the counter classification, and
+/// replayed into the fallback counters in bulk (once per call) so the
+/// totals stay numerically identical to per-tuple routing.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Resolution {
+    /// Explicit in-range entry: no fallback counter.
+    Hit,
+    /// Entry points past the current parallelism: stale fallback.
+    Stale,
+    /// No entry: hash fallback.
+    Missing,
+}
 
 /// A routing table for fields grouping: explicitly assigns the
 /// monitored keys to operator instances and falls back to hash routing
@@ -144,6 +160,51 @@ impl KeyRouter for RoutingTable {
         }
     }
 
+    /// Looks up each run of equal keys once. A two-entry memo of the
+    /// most recent distinct keys (carrying the fallback class so the
+    /// counters stay exact) catches alternating traffic; the fallback
+    /// counters get one bulk add per call instead of one RMW per tuple.
+    fn route_batch(&self, keys: &[Key], instances: usize, out: &mut Vec<DestRun>) {
+        let start = out.len();
+        let mut memo: [Option<(Key, u32, Resolution)>; 2] = [None, None];
+        let (mut stale, mut missing) = (0u64, 0u64);
+        let mut rest = keys;
+        while !rest.is_empty() {
+            let key = rest[0];
+            let len = key_run_len(rest) as u64;
+            let (dest, res) = match memo {
+                [Some((k, d, r)), _] if k == key => (d, r),
+                [_, Some((k, d, r))] if k == key => {
+                    memo.swap(0, 1); // keep the most recent key in front
+                    (d, r)
+                }
+                _ => {
+                    let (d, r) = match self.table.get(&key) {
+                        Some(&i) if (i as usize) < instances => (i, Resolution::Hit),
+                        Some(_) => (HashRouter.route(key, instances), Resolution::Stale),
+                        None => (HashRouter.route(key, instances), Resolution::Missing),
+                    };
+                    memo[1] = memo[0];
+                    memo[0] = Some((key, d, r));
+                    (d, r)
+                }
+            };
+            match res {
+                Resolution::Hit => {}
+                Resolution::Stale => stale += len,
+                Resolution::Missing => missing += len,
+            }
+            push_dest_run(out, start, dest, len as u32);
+            rest = &rest[len as usize..];
+        }
+        if stale > 0 {
+            self.stale_entry_fallback.add(stale);
+        }
+        if missing > 0 {
+            self.hash_fallback.add(missing);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "table"
     }
@@ -218,6 +279,36 @@ mod tests {
         t.route(Key::new(2), 4);
         assert_eq!(t.hash_fallbacks(), 1);
         assert_eq!(t.stale_entry_fallbacks(), 2);
+    }
+
+    #[test]
+    fn route_batch_matches_per_key_route_and_counters() {
+        use streamloc_engine::DestRun;
+        // 1 → explicit hit, 2 → stale entry, everything else missing.
+        let batch_t = RoutingTable::from_assignments([(Key::new(1), 0), (Key::new(2), 8)]);
+        let tuple_t = batch_t.clone();
+        // Runs, alternation across all three classes, and a mixed tail.
+        let mut keys: Vec<Key> = Vec::new();
+        keys.extend([1, 1, 1, 2, 2, 9, 1, 9, 1, 9, 2, 9, 2].map(Key::new));
+        for v in 0..100u64 {
+            keys.push(Key::new(streamloc_engine::splitmix64(v) % 5));
+        }
+        let mut runs: Vec<DestRun> = Vec::new();
+        batch_t.route_batch(&keys, 4, &mut runs);
+        let expanded: Vec<u32> = runs
+            .iter()
+            .flat_map(|r| std::iter::repeat_n(r.dest, r.len as usize))
+            .collect();
+        let per_key: Vec<u32> = keys.iter().map(|&k| tuple_t.route(k, 4)).collect();
+        assert_eq!(expanded, per_key);
+        // The fallback counters must be numerically identical too.
+        assert_eq!(batch_t.hash_fallbacks(), tuple_t.hash_fallbacks());
+        assert_eq!(
+            batch_t.stale_entry_fallbacks(),
+            tuple_t.stale_entry_fallbacks()
+        );
+        assert!(batch_t.hash_fallbacks() > 0);
+        assert!(batch_t.stale_entry_fallbacks() > 0);
     }
 
     #[test]

@@ -84,6 +84,13 @@ impl PairObserver for TrackerHandle {
     fn observe(&mut self, input: Key, output: Key) {
         self.0.sketch.lock().offer((input, output));
     }
+
+    /// One lock acquisition and one weighted offer per run.
+    fn observe_run(&mut self, input: Key, output: Key, count: u64) {
+        if count > 0 {
+            self.0.sketch.lock().offer_weighted((input, output), count);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +129,26 @@ mod tests {
         }
         assert!(tracker.snapshot().len() <= 4);
         assert_eq!(tracker.total(), 100);
+    }
+
+    #[test]
+    fn observe_run_matches_repeated_observe() {
+        let run_tracker = PairTracker::new(8);
+        let per_tracker = PairTracker::new(8);
+        let mut run_handle = run_tracker.handle();
+        let mut per_handle = per_tracker.handle();
+        for (i, o, n) in [(1, 10, 5), (2, 20, 1), (1, 10, 3), (3, 30, 0)] {
+            run_handle.observe_run(Key::new(i), Key::new(o), n);
+            for _ in 0..n {
+                per_handle.observe(Key::new(i), Key::new(o));
+            }
+        }
+        assert_eq!(run_tracker.total(), per_tracker.total());
+        let (a, b) = (run_tracker.snapshot(), per_tracker.snapshot());
+        assert_eq!(a.get(&(Key::new(1), Key::new(10))).unwrap().count, 8);
+        for entry in a.iter() {
+            assert_eq!(b.get(entry.key).map(|e| e.count), Some(entry.count));
+        }
     }
 
     #[test]

@@ -60,4 +60,45 @@ proptest! {
         let key = Key::new(key);
         prop_assert_eq!(table.route(key, instances), HashRouter.route(key, instances));
     }
+
+    /// The columnar path over arbitrary tables and key sequences:
+    /// expanded runs must match per-key `route` decisions — including
+    /// keys that take the stale-entry or missing-key fallback — and
+    /// the fallback counters must land on identical totals.
+    #[test]
+    fn route_batch_matches_per_key_route_with_fallbacks(
+        entries in assignments(),
+        sequence in prop::collection::vec((0u64..600, 1usize..5), 0..60),
+        instances in 1usize..16,
+    ) {
+        use streamloc_engine::DestRun;
+
+        let build = || {
+            RoutingTable::from_assignments(entries.iter().map(|&(k, i)| (Key::new(k), i)))
+        };
+        // Runs over a domain wider than the assignments, so hits,
+        // stale entries and misses all appear in one sequence.
+        let keys: Vec<Key> = sequence
+            .iter()
+            .flat_map(|&(k, n)| std::iter::repeat_n(Key::new(k), n))
+            .collect();
+
+        let batched = build();
+        let mut runs: Vec<DestRun> = Vec::new();
+        batched.route_batch(&keys, instances, &mut runs);
+        let expanded: Vec<u32> = runs
+            .iter()
+            .flat_map(|r| std::iter::repeat_n(r.dest, r.len as usize))
+            .collect();
+
+        let per_key = build();
+        let routed: Vec<u32> = keys.iter().map(|&k| per_key.route(k, instances)).collect();
+
+        prop_assert_eq!(expanded, routed);
+        prop_assert_eq!(batched.hash_fallbacks(), per_key.hash_fallbacks());
+        prop_assert_eq!(
+            batched.stale_entry_fallbacks(),
+            per_key.stale_entry_fallbacks()
+        );
+    }
 }

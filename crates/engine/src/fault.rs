@@ -87,6 +87,16 @@ pub enum FaultEvent {
         /// Simulation window at which the manager dies.
         window: u64,
     },
+    /// Drop the `occurrence`-th `Msg::Batch` the live data plane would
+    /// send (0-based, counted over the whole run across all workers).
+    /// Every tuple in the batch is lost on the wire — the at-most-once
+    /// data-plane loss the batched transport introduces. Accounted by
+    /// the `live_batch_drops_total` / `live_batch_dropped_tuples_total`
+    /// counters.
+    DropBatch {
+        /// Which batch send to drop (0-based).
+        occurrence: u64,
+    },
 }
 
 /// A reproducible schedule of failures.
@@ -117,6 +127,17 @@ impl FaultPlan {
     #[must_use]
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
+    }
+
+    /// `true` when the plan schedules at least one data-plane batch
+    /// drop. The live runtime uses this to arm its batch-send hook —
+    /// plans without batch faults keep the send path branch-light (one
+    /// relaxed atomic load, no lock).
+    #[must_use]
+    pub fn has_batch_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::DropBatch { .. }))
     }
 
     /// Derives a plan from `seed`: a few POI crashes spread over
@@ -192,6 +213,8 @@ pub struct FaultInjector {
     /// Per-class control-message counters (SendReconf, Propagate,
     /// Migrate).
     seen: [u64; 3],
+    /// Data-plane batch-send counter (for [`FaultEvent::DropBatch`]).
+    batches_seen: u64,
 }
 
 impl FaultInjector {
@@ -203,7 +226,28 @@ impl FaultInjector {
             events: plan.events,
             used,
             seen: [0; 3],
+            batches_seen: 0,
         }
+    }
+
+    /// Decides the fate of the next data-plane `Msg::Batch` send:
+    /// `true` means the batch is lost on the wire. Every call advances
+    /// the global batch-send counter, whether or not a fault matches.
+    pub fn on_batch_send(&mut self) -> bool {
+        let occurrence = self.batches_seen;
+        self.batches_seen += 1;
+        for (i, event) in self.events.iter().enumerate() {
+            if self.used[i] {
+                continue;
+            }
+            if let FaultEvent::DropBatch { occurrence: o } = *event {
+                if o == occurrence {
+                    self.used[i] = true;
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Global instance indices whose crash is due at or before
@@ -326,6 +370,31 @@ mod tests {
         assert!(!inj.manager_kill_due(1));
         assert!(inj.manager_kill_due(2));
         assert!(!inj.manager_kill_due(3));
+    }
+
+    #[test]
+    fn batch_drop_matches_exact_occurrence_once() {
+        let plan = FaultPlan::new()
+            .with(FaultEvent::DropBatch { occurrence: 2 })
+            .with(FaultEvent::DropBatch { occurrence: 2 });
+        assert!(plan.has_batch_faults());
+        assert!(!FaultPlan::new().has_batch_faults());
+        let mut inj = FaultInjector::new(plan);
+        let fates: Vec<bool> = (0..5).map(|_| inj.on_batch_send()).collect();
+        // Only the first matching event fires; its twin targets an
+        // occurrence that has already passed.
+        assert_eq!(fates, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn batch_sends_do_not_advance_control_counters() {
+        let plan = FaultPlan::new().with(FaultEvent::DropControl {
+            class: ControlClass::Propagate,
+            occurrence: 0,
+        });
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.on_batch_send());
+        assert_eq!(inj.on_control(ControlClass::Propagate), ControlFate::Drop);
     }
 
     #[test]

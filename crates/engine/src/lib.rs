@@ -88,7 +88,8 @@ pub use operator::{
 pub use operators_ext::{ApproxDistinctOperator, WindowedCountOperator};
 pub use reconfig::{ReconfigError, ReconfigInProgress, ReconfigPlan, WaveConfig};
 pub use router::{
-    HashRouter, KeyRouter, ModuloRouter, PartialKeyRouter, PermutationRouter, ShiftedRouter,
+    key_run_len, push_dest_run, DestRun, HashRouter, KeyRouter, ModuloRouter, PartialKeyRouter,
+    PermutationRouter, ShiftedRouter,
 };
 pub use sim::{PairObserver, Placement, SimConfig, Simulation};
 pub use topology::{

@@ -39,10 +39,10 @@ use crate::reconfig::{ReconfigError, WaveConfig};
 
 /// Per-edge router updates carried by a `Reconf` message.
 type RouterUpdates = Vec<(EdgeId, Arc<dyn KeyRouter>)>;
-use crate::router::{HashRouter, KeyRouter};
+use crate::router::{DestRun, HashRouter, KeyRouter};
 use crate::sim::{PairObserver, Placement};
 use crate::topology::{EdgeId, Grouping, PoId, PoKind, SourceRate, Topology, TupleSource};
-use crate::tuple::Tuple;
+use crate::tuple::{tuple_run_len, Tuple};
 
 /// Messages on an instance's inbox. Data and control share one FIFO
 /// channel per receiver (like a TCP connection in Storm), so per-
@@ -154,6 +154,18 @@ pub struct LiveConfig {
     /// messages is preserved. `0` or `1` disables batching (one
     /// `Msg::Data` per tuple, the pre-batching behavior).
     pub batch_size: usize,
+    /// Columnar data plane: batches stay first-class *inside* the
+    /// workers, not only on the channel. Sources and operators route
+    /// whole batches via [`KeyRouter::route_batch`] (one route per run
+    /// of equal keys), edge and hot counters get one relaxed add per
+    /// batch instead of one RMW per tuple, operators dispatch through
+    /// [`Operator::on_batch`] (one state lookup per key run), and pair
+    /// observers receive coalesced [`PairObserver::observe_run`]s.
+    /// Strictly equivalent to the per-tuple path — final operator
+    /// state, locality statistics and sketch contents are
+    /// bit-identical — so it is on by default; disable to measure the
+    /// per-tuple baseline.
+    pub columnar: bool,
     /// Observability registry. When set, the runtime registers its
     /// hot-path counters (tuples routed/remote, migrations, migration
     /// bytes, batch sends/flushes) there; workers feed them with
@@ -166,6 +178,7 @@ impl Default for LiveConfig {
         Self {
             channel_capacity: 8_192,
             batch_size: 64,
+            columnar: true,
             metrics: None,
         }
     }
@@ -181,6 +194,8 @@ struct LiveHot {
     batch_sends: Counter,
     batch_tuples: Counter,
     batch_control_flushes: Counter,
+    batch_drops: Counter,
+    batch_dropped_tuples: Counter,
 }
 
 impl LiveHot {
@@ -215,6 +230,14 @@ impl LiveHot {
                     "live_batch_control_flushes_total",
                     "send-buffer flushes forced by control-plane boundaries",
                 ),
+                batch_drops: reg.counter(
+                    "live_batch_drops_total",
+                    "Batch messages lost mid-flight to fault injection",
+                ),
+                batch_dropped_tuples: reg.counter(
+                    "live_batch_dropped_tuples_total",
+                    "tuples lost inside fault-dropped Batch messages",
+                ),
             },
             None => Self {
                 tuples_routed: Counter::detached(),
@@ -224,6 +247,8 @@ impl LiveHot {
                 batch_sends: Counter::detached(),
                 batch_tuples: Counter::detached(),
                 batch_control_flushes: Counter::detached(),
+                batch_drops: Counter::detached(),
+                batch_dropped_tuples: Counter::detached(),
             },
         }
     }
@@ -252,10 +277,38 @@ struct WorkerShared {
     /// Fault injector consulted for every control message: ③/⑤ by the
     /// wave driver, ⑥ by the sending worker.
     fault: Mutex<Option<FaultInjector>>,
+    /// `true` when the installed fault plan schedules data-plane batch
+    /// drops. Gates the injector lock out of the batch send path: the
+    /// hot path pays one relaxed load, never a mutex, unless batch
+    /// faults are actually armed.
+    batch_faults: AtomicBool,
     /// Data-plane batch size (≤ 1 disables batching).
     batch_size: usize,
+    /// Columnar batch processing (see [`LiveConfig::columnar`]).
+    columnar: bool,
     /// Hot-path observability counters (see [`LiveHot`]).
     hot: LiveHot,
+}
+
+/// Sends one coalesced batch, consulting the armed fault injector
+/// first: a dropped batch is lost on the wire with every tuple in it
+/// (at-most-once), accounted by the `live_batch_drop*` counters.
+fn send_batch(shared: &WorkerShared, dest_idx: usize, batch: Vec<Tuple>) {
+    shared.hot.batch_sends.inc();
+    shared.hot.batch_tuples.add(batch.len() as u64);
+    if shared.batch_faults.load(Ordering::Relaxed) {
+        let dropped = shared
+            .fault
+            .lock()
+            .as_mut()
+            .is_some_and(|inj| inj.on_batch_send());
+        if dropped {
+            shared.hot.batch_drops.inc();
+            shared.hot.batch_dropped_tuples.add(batch.len() as u64);
+            return;
+        }
+    }
+    let _ = shared.inboxes[dest_idx].send(Msg::Batch(batch));
 }
 
 /// Per-worker context threaded through the routing helper.
@@ -266,10 +319,17 @@ struct WorkerCtx {
     overrides: HashMap<usize, Arc<dyn KeyRouter>>,
     /// Per-destination send buffers (indexed by global instance), the
     /// data-plane batching of `LiveConfig::batch_size`. Edge counters
-    /// and observers still fire per tuple at route time, so locality
+    /// and observers fire with the same aggregate totals as the
+    /// per-tuple path (bulk adds on the columnar path), so locality
     /// statistics are bit-identical with and without batching.
     out_buf: Vec<Vec<Tuple>>,
     batch: usize,
+    /// Columnar batch routing (copied from [`WorkerShared::columnar`]).
+    columnar: bool,
+    /// Scratch column of routing keys extracted from a staged batch.
+    key_buf: Vec<Key>,
+    /// Scratch `(dest, len)` runs produced by `route_batch`.
+    run_buf: Vec<DestRun>,
 }
 
 impl WorkerCtx {
@@ -281,6 +341,9 @@ impl WorkerCtx {
             overrides: HashMap::new(),
             out_buf: vec![Vec::new(); shared.inboxes.len()],
             batch: shared.batch_size,
+            columnar: shared.columnar,
+            key_buf: Vec::new(),
+            run_buf: Vec::new(),
         }
     }
 
@@ -294,9 +357,7 @@ impl WorkerCtx {
         buf.push(tuple);
         if buf.len() >= self.batch {
             let batch = std::mem::replace(buf, Vec::with_capacity(self.batch));
-            shared.hot.batch_sends.inc();
-            shared.hot.batch_tuples.add(batch.len() as u64);
-            let _ = shared.inboxes[dest_idx].send(Msg::Batch(batch));
+            send_batch(shared, dest_idx, batch);
         }
     }
 
@@ -315,9 +376,7 @@ impl WorkerCtx {
                 continue;
             }
             let batch = std::mem::take(&mut self.out_buf[dest_idx]);
-            shared.hot.batch_sends.inc();
-            shared.hot.batch_tuples.add(batch.len() as u64);
-            let _ = shared.inboxes[dest_idx].send(Msg::Batch(batch));
+            send_batch(shared, dest_idx, batch);
             flushed = true;
         }
         if control && flushed {
@@ -369,6 +428,92 @@ impl WorkerCtx {
                 counters.local.fetch_add(1, Ordering::Relaxed);
             }
             self.push_tuple(shared, dest_idx, tuple);
+        }
+    }
+
+    /// Routes a staged batch of tuples in columnar form when this
+    /// operator has exactly one fields-grouped out edge: the key
+    /// column is extracted once, the router sees it whole
+    /// ([`KeyRouter::route_batch`] — one route per run of equal keys),
+    /// and the edge / hot counters get one relaxed add per batch
+    /// instead of one contended RMW per tuple. Aggregate side effects
+    /// (edge totals, fallback counters) are exactly those of routing
+    /// per tuple.
+    ///
+    /// Operators with several out edges or shuffle grouping fall back
+    /// to the per-tuple path — interleaving whole per-edge runs would
+    /// reorder tuples *across* edges relative to per-tuple routing,
+    /// and round-robin shuffle state is inherently per tuple.
+    fn route_out_batch(&mut self, shared: &WorkerShared, tuples: &[Tuple]) {
+        if tuples.is_empty() {
+            return;
+        }
+        let outs = &shared.outs[self.po_idx];
+        if !(self.columnar && outs.len() == 1 && outs[0].field.is_some()) {
+            for &tuple in tuples {
+                self.route_out(shared, tuple);
+            }
+            return;
+        }
+        let out = &outs[0];
+        let field = out.field.expect("columnar edge is fields-grouped");
+        let dest_parallelism = shared.parallelism[out.dest_po];
+        let base = shared.poi_base[out.dest_po];
+        let my_server = shared.server[self.my_idx];
+
+        self.key_buf.clear();
+        self.key_buf.extend(tuples.iter().map(|t| t.key(field)));
+        let mut runs = std::mem::take(&mut self.run_buf);
+        runs.clear();
+        self.overrides
+            .get(&out.edge)
+            .unwrap_or(&out.router)
+            .route_batch(&self.key_buf, dest_parallelism, &mut runs);
+
+        let (mut local, mut remote) = (0u64, 0u64);
+        let mut offset = 0usize;
+        for run in &runs {
+            let len = run.len as usize;
+            let dest_idx = base + run.dest as usize;
+            if shared.server[dest_idx] == my_server {
+                local += u64::from(run.len);
+            } else {
+                remote += u64::from(run.len);
+            }
+            let mut rest = &tuples[offset..offset + len];
+            offset += len;
+            if self.batch <= 1 {
+                for &tuple in rest {
+                    let _ = shared.inboxes[dest_idx].send(Msg::Data(tuple));
+                }
+                continue;
+            }
+            // Append the run in chunks sized to the remaining buffer
+            // room, so batch boundaries land exactly where per-tuple
+            // pushes would put them.
+            while !rest.is_empty() {
+                let buf = &mut self.out_buf[dest_idx];
+                let take = rest.len().min(self.batch - buf.len());
+                buf.extend_from_slice(&rest[..take]);
+                rest = &rest[take..];
+                if buf.len() >= self.batch {
+                    let batch = std::mem::replace(buf, Vec::with_capacity(self.batch));
+                    send_batch(shared, dest_idx, batch);
+                }
+            }
+        }
+        self.run_buf = runs;
+
+        // One deferred add per counter per batch — the contended
+        // atomics are the dominant per-tuple cost this path removes.
+        shared.hot.tuples_routed.add(tuples.len() as u64);
+        let counters = &shared.edges[out.edge];
+        if local > 0 {
+            counters.local.fetch_add(local, Ordering::Relaxed);
+        }
+        if remote > 0 {
+            counters.remote.fetch_add(remote, Ordering::Relaxed);
+            shared.hot.tuples_remote.add(remote);
         }
     }
 }
@@ -574,7 +719,9 @@ impl LiveRuntime {
             parallelism: parallelism.clone(),
             poi_base: poi_base.clone(),
             fault: Mutex::new(None),
+            batch_faults: AtomicBool::new(false),
             batch_size: config.batch_size,
+            columnar: config.columnar,
             hot: LiveHot::new(config.metrics.as_deref()),
         });
 
@@ -922,6 +1069,12 @@ impl LiveRuntime {
     /// [`DropControl`]: crate::FaultEvent::DropControl
     /// [`DelayControl`]: crate::FaultEvent::DelayControl
     pub fn install_fault_plan(&self, plan: FaultPlan) {
+        // Arm the batch-send hook before the injector is visible, so a
+        // concurrent sender that sees the gate up always finds the
+        // injector installed.
+        self.shared
+            .batch_faults
+            .store(plan.has_batch_faults(), Ordering::Relaxed);
         *self.shared.fault.lock() = Some(FaultInjector::new(plan));
     }
 
@@ -1041,6 +1194,7 @@ fn source_loop(
     let mut ctx = WorkerCtx::new(po_idx, instance, &shared);
     let my_idx = ctx.my_idx;
     let mut emitted = 0u64;
+    let mut stage: Vec<Tuple> = Vec::with_capacity(64);
     let mut staged: Option<RouterUpdates> = None;
     let mut down = false;
     let batch_sleep = match rate {
@@ -1088,19 +1242,21 @@ fn source_loop(
         if down || shared.stop.load(Ordering::Relaxed) {
             break;
         }
+        // Stage up to one batch of generated tuples, then route them
+        // as a column: the batch-first data plane begins at the source.
         let mut exhausted = false;
+        stage.clear();
         for _ in 0..64 {
             match gen.next_tuple() {
-                Some(tuple) => {
-                    ctx.route_out(&shared, tuple);
-                    emitted += 1;
-                }
+                Some(tuple) => stage.push(tuple),
                 None => {
                     exhausted = true;
                     break;
                 }
             }
         }
+        emitted += stage.len() as u64;
+        ctx.route_out_batch(&shared, &stage);
         if exhausted {
             break;
         }
@@ -1249,6 +1405,91 @@ fn operator_loop(
         true
     }
 
+    /// The columnar data path: processes a whole batch, one operator
+    /// dispatch and one state lookup per run of equal state keys,
+    /// coalesced observer runs, and columnar routing of the emitted
+    /// tuples. Only called when the instance is "quiet" — no keys
+    /// pending a migration, none departed — so every tuple is
+    /// processed (never buffered or forwarded), exactly as
+    /// `process_one` would.
+    #[allow(clippy::too_many_arguments)]
+    fn process_batch(
+        tuples: &[Tuple],
+        op: &mut dyn Operator,
+        stateful: bool,
+        state_field: Option<usize>,
+        state: &mut HashMap<Key, StateValue>,
+        observers: &mut ObserverSlots,
+        emitted: &mut Vec<Tuple>,
+        ctx: &mut WorkerCtx,
+        shared: &WorkerShared,
+    ) {
+        let Some(field) = state_field else {
+            // No routed input field: no per-key state, no observers.
+            // One dispatch covers the whole batch.
+            emitted.clear();
+            let mut op_ctx = OpContext {
+                state: None,
+                routing_key: None,
+                emitted: &mut *emitted,
+            };
+            op.on_batch(tuples, &mut op_ctx);
+            let out = std::mem::take(emitted);
+            ctx.route_out_batch(shared, &out);
+            *emitted = out;
+            return;
+        };
+        // Output accumulates across runs and is routed once per batch:
+        // routing is order-preserving and appends per destination, so
+        // deferring it to the batch boundary leaves every buffer and
+        // send boundary exactly where per-run routing would put them —
+        // while paying the columnar routing setup (key column, run
+        // detection, counter adds) once per batch instead of once per
+        // run.
+        emitted.clear();
+        let mut rest = tuples;
+        while !rest.is_empty() {
+            let len = tuple_run_len(rest, field);
+            let key = rest[0].key(field);
+            let run_start = emitted.len();
+            {
+                let state_slot = if stateful {
+                    Some(state.entry(key).or_insert_with(|| op.init_state()))
+                } else {
+                    None
+                };
+                let mut op_ctx = OpContext {
+                    state: state_slot,
+                    routing_key: Some(key),
+                    emitted: &mut *emitted,
+                };
+                op.on_batch(&rest[..len], &mut op_ctx);
+            }
+            if !observers.is_empty() {
+                for out in &shared.outs[ctx.po_idx] {
+                    let Some(slots) = observers.get_mut(&out.edge) else {
+                        continue;
+                    };
+                    for (obs_field, obs) in slots {
+                        // Emitted tuples within a run may still vary
+                        // in the observed field; coalesce the emitted
+                        // runs too so each costs one observe.
+                        let mut out_rest = &emitted[run_start..];
+                        while !out_rest.is_empty() {
+                            let out_len = tuple_run_len(out_rest, *obs_field);
+                            obs.observe_run(key, out_rest[0].key(*obs_field), out_len as u64);
+                            out_rest = &out_rest[out_len..];
+                        }
+                    }
+                }
+            }
+            rest = &rest[len..];
+        }
+        let out = std::mem::take(emitted);
+        ctx.route_out_batch(shared, &out);
+        *emitted = out;
+    }
+
     // Once every predecessor `Eos` is in but keys are still buffered
     // awaiting a `Migrate`, the loop switches to a bounded-patience
     // drain: if the state transfer was lost (fault injection, crashed
@@ -1296,21 +1537,42 @@ fn operator_loop(
                 }
             }
             Msg::Batch(tuples) => {
-                for tuple in tuples {
-                    if process_one(
-                        tuple,
+                // Columnar dispatch requires a quiet instance: with
+                // keys pending migration or departed, individual
+                // tuples may need buffering/forwarding, so the batch
+                // drops to the per-tuple path. Neither map mutates
+                // while a batch is processed, so the guard holds for
+                // the whole batch.
+                if shared.columnar && pending.is_empty() && departed.is_empty() {
+                    process_batch(
+                        &tuples,
                         op.as_mut(),
                         stateful,
                         state_field,
                         &mut state,
-                        &mut pending,
-                        &departed,
                         &mut observers,
                         &mut emitted,
                         &mut ctx,
                         &shared,
-                    ) {
-                        processed += 1;
+                    );
+                    processed += tuples.len() as u64;
+                } else {
+                    for tuple in tuples {
+                        if process_one(
+                            tuple,
+                            op.as_mut(),
+                            stateful,
+                            state_field,
+                            &mut state,
+                            &mut pending,
+                            &departed,
+                            &mut observers,
+                            &mut emitted,
+                            &mut ctx,
+                            &shared,
+                        ) {
+                            processed += 1;
+                        }
                     }
                 }
             }
@@ -1694,17 +1956,47 @@ mod tests {
         assert_eq!(hop_locality, 1.0, "aligned modulo must stay local");
     }
 
+    /// Shared pair-count map standing in for a sketch: observer totals
+    /// must come out identical whether fed per tuple (`observe`) or in
+    /// coalesced runs (`observe_run`).
+    #[derive(Clone, Default)]
+    struct PairCounts(Arc<Mutex<HashMap<(Key, Key), u64>>>);
+
+    impl PairObserver for PairCounts {
+        fn observe(&mut self, input: Key, output: Key) {
+            *self.0.lock().entry((input, output)).or_insert(0) += 1;
+        }
+
+        fn observe_run(&mut self, input: Key, output: Key, count: u64) {
+            *self.0.lock().entry((input, output)).or_insert(0) += count;
+        }
+    }
+
     /// Runs a topology and reduces it to a fully deterministic
-    /// fingerprint: every instance's sorted `(key, count)` state plus
-    /// every edge's `(local, remote)` transfer totals.
+    /// fingerprint: every instance's sorted `(key, count)` state,
+    /// every edge's `(local, remote)` transfer totals, and the sorted
+    /// pair-observation totals of operator `A`'s out edge.
     type Fingerprint = (
         Vec<(usize, usize, Vec<(Key, u64)>)>,
         Vec<(u64, u64)>,
+        Vec<((Key, Key), u64)>,
     );
 
     fn run_fingerprint(topo: Topology, servers: usize, config: LiveConfig) -> Fingerprint {
         let placement = Placement::aligned(&topo, servers);
-        let rt = LiveRuntime::start(topo, placement, servers, config);
+        let pairs = PairCounts::default();
+        let observers: Vec<LiveObserver> = (0..topo.po(PoId(1)).parallelism())
+            .map(|i| {
+                (
+                    PoId(1),
+                    i,
+                    EdgeId(1),
+                    1,
+                    Box::new(pairs.clone()) as Box<dyn PairObserver>,
+                )
+            })
+            .collect();
+        let rt = LiveRuntime::start_with_observers(topo, placement, servers, config, observers);
         let shared = Arc::clone(&rt.shared);
         let reports = rt.join();
         let mut states = Vec::new();
@@ -1727,7 +2019,10 @@ mod tests {
                 )
             })
             .collect();
-        (states, edges)
+        let mut pair_counts: Vec<((Key, Key), u64)> =
+            pairs.0.lock().iter().map(|(&p, &c)| (p, c)).collect();
+        pair_counts.sort_unstable();
+        (states, edges, pair_counts)
     }
 
     #[test]
@@ -1756,6 +2051,39 @@ mod tests {
             assert_eq!(
                 unbatched, batched,
                 "batch_size={batch_size} changed state or locality stats"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_is_bit_identical_to_per_tuple() {
+        // The tentpole equivalence gate: run-length routing, bulk
+        // counter adds, batched operator dispatch and coalesced
+        // observer runs must leave operator state, locality statistics
+        // and pair-observation totals exactly as the per-tuple path
+        // does — across degenerate, default and jumbo batch sizes.
+        for batch_size in [1, 64, 1024] {
+            let per_tuple = run_fingerprint(
+                chain(3, 12, 30_000),
+                3,
+                LiveConfig {
+                    batch_size,
+                    columnar: false,
+                    ..LiveConfig::default()
+                },
+            );
+            let columnar = run_fingerprint(
+                chain(3, 12, 30_000),
+                3,
+                LiveConfig {
+                    batch_size,
+                    columnar: true,
+                    ..LiveConfig::default()
+                },
+            );
+            assert_eq!(
+                per_tuple, columnar,
+                "batch_size={batch_size}: columnar path diverged"
             );
         }
     }

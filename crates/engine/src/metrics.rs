@@ -17,6 +17,20 @@ pub struct EdgeWindowStats {
 }
 
 impl EdgeWindowStats {
+    /// Records `count` local (in-memory) transfers in one add — the
+    /// columnar data plane's bulk entry point for run-length batches.
+    pub fn record_local(&mut self, count: u64) {
+        self.local += count;
+    }
+
+    /// Records `count` remote transfers carrying `bytes` on the wire,
+    /// `cross_rack` of which also crossed a rack boundary.
+    pub fn record_remote(&mut self, count: u64, cross_rack: u64, bytes: u64) {
+        self.remote += count;
+        self.cross_rack += cross_rack;
+        self.bytes += bytes;
+    }
+
     /// Fraction of transfers that stayed local (1.0 when idle).
     #[must_use]
     pub fn locality(&self) -> f64 {
@@ -294,6 +308,24 @@ mod tests {
         let pois = [PoiId(0), PoiId(1), PoiId(2)];
         assert!((log.load_imbalance(&pois, 0) - 1.5).abs() < 1e-12);
         assert_eq!(log.load_imbalance(&[], 0), 1.0);
+    }
+
+    #[test]
+    fn bulk_records_match_unit_increments() {
+        let mut bulk = EdgeWindowStats::default();
+        bulk.record_local(3);
+        bulk.record_remote(4, 1, 400);
+        let mut unit = EdgeWindowStats::default();
+        for _ in 0..3 {
+            unit.local += 1;
+        }
+        for _ in 0..4 {
+            unit.remote += 1;
+            unit.bytes += 100;
+        }
+        unit.cross_rack += 1;
+        assert_eq!(bulk, unit);
+        assert!((bulk.locality() - 3.0 / 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -101,6 +101,23 @@ pub trait Operator: Send {
     fn init_state(&self) -> StateValue {
         StateValue::Count(0)
     }
+
+    /// Processes a run of input tuples that all share the same routing
+    /// key (`ctx.state()` / `ctx.routing_key()` refer to that key; for
+    /// stateless operators the "run" is an arbitrary chunk of the
+    /// batch).
+    ///
+    /// The contract is strict equivalence: the state updates and
+    /// emitted tuples must be exactly what per-tuple
+    /// [`process`](Operator::process) calls in order would produce.
+    /// The default does just that; aggregating operators override it
+    /// to apply the whole run in O(1) state writes
+    /// ([`CountOperator`]: one add of `tuples.len()`).
+    fn on_batch(&mut self, tuples: &[Tuple], ctx: &mut OpContext<'_>) {
+        for &tuple in tuples {
+            self.process(tuple, ctx);
+        }
+    }
 }
 
 /// Factory producing one [`Operator`] per deployed instance.
@@ -132,6 +149,14 @@ impl Operator for CountOperator {
         }
         ctx.emit(tuple);
     }
+
+    /// Counts the whole run with a single state write.
+    fn on_batch(&mut self, tuples: &[Tuple], ctx: &mut OpContext<'_>) {
+        if let Some(n) = ctx.state().as_count_mut() {
+            *n += tuples.len() as u64;
+        }
+        ctx.emitted.extend_from_slice(tuples);
+    }
 }
 
 /// A stateless pass-through operator (e.g. a parser or normalizer
@@ -156,6 +181,10 @@ impl IdentityOperator {
 impl Operator for IdentityOperator {
     fn process(&mut self, tuple: Tuple, ctx: &mut OpContext<'_>) {
         ctx.emit(tuple);
+    }
+
+    fn on_batch(&mut self, tuples: &[Tuple], ctx: &mut OpContext<'_>) {
+        ctx.emitted.extend_from_slice(tuples);
     }
 }
 
@@ -219,6 +248,50 @@ mod tests {
         });
         let out = run_once(&mut op, Tuple::new([Key::new(1)], 0), None);
         assert_eq!(out[0].key(0), Key::new(99));
+    }
+
+    fn run_batch(
+        op: &mut dyn Operator,
+        tuples: &[Tuple],
+        state: Option<&mut StateValue>,
+    ) -> Vec<Tuple> {
+        let mut emitted = Vec::new();
+        let mut ctx = OpContext {
+            routing_key: state.is_some().then(|| tuples[0].key(0)),
+            state,
+            emitted: &mut emitted,
+        };
+        op.on_batch(tuples, &mut ctx);
+        emitted
+    }
+
+    #[test]
+    fn count_on_batch_matches_per_tuple_process() {
+        let tuples = vec![Tuple::new([Key::new(7)], 0); 5];
+        let mut batch_op = CountOperator::new();
+        let mut batch_state = batch_op.init_state();
+        let batched = run_batch(&mut batch_op, &tuples, Some(&mut batch_state));
+
+        let mut tuple_op = CountOperator::new();
+        let mut tuple_state = tuple_op.init_state();
+        let mut per_tuple = Vec::new();
+        for &t in &tuples {
+            per_tuple.extend(run_once(&mut tuple_op, t, Some(&mut tuple_state)));
+        }
+        assert_eq!(batched, per_tuple);
+        assert_eq!(batch_state, tuple_state);
+        assert_eq!(batch_state.as_count(), Some(5));
+    }
+
+    #[test]
+    fn default_on_batch_delegates_to_process() {
+        let mut op = FnOperator(|t: Tuple, ctx: &mut OpContext<'_>| {
+            ctx.emit(t.with_key(0, Key::new(t.key(0).value() + 1)));
+        });
+        let tuples: Vec<Tuple> = (0..4).map(|v| Tuple::new([Key::new(v)], 0)).collect();
+        let out = run_batch(&mut op, &tuples, None);
+        let keys: Vec<u64> = out.iter().map(|t| t.key(0).value()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
     }
 
     #[test]

@@ -94,6 +94,28 @@ impl Operator for WindowedCountOperator {
     fn init_state(&self) -> StateValue {
         Self::encode(0, 0)
     }
+
+    /// Applies the run chunk-by-chunk, one state write per tumbling
+    /// window the run spans (usually one), instead of a decode/encode
+    /// round trip per tuple.
+    fn on_batch(&mut self, tuples: &[Tuple], ctx: &mut OpContext<'_>) {
+        let state = ctx.state();
+        let mut remaining = tuples.len() as u64;
+        while remaining > 0 {
+            let window = (self.seen + 1) / self.window_tuples;
+            // Largest `seen` value still inside `window`.
+            let window_end = window * self.window_tuples + (self.window_tuples - 1);
+            let chunk = remaining.min(window_end - self.seen);
+            self.seen += chunk;
+            let count = match Self::decode(state) {
+                Some((w, c)) if w == window => c + chunk,
+                _ => chunk,
+            };
+            *state = Self::encode(window, count);
+            remaining -= chunk;
+        }
+        ctx.emitted.extend_from_slice(tuples);
+    }
 }
 
 /// Number of HyperLogLog registers kept per key (64 → ~13% relative
@@ -168,6 +190,18 @@ impl Operator for ApproxDistinctOperator {
     fn init_state(&self) -> StateValue {
         StateValue::Bytes(vec![0u8; HLL_REGISTERS])
     }
+
+    /// Borrows the register array once for the whole run (the
+    /// companion field still varies per tuple, so each tuple hashes
+    /// individually).
+    fn on_batch(&mut self, tuples: &[Tuple], ctx: &mut OpContext<'_>) {
+        if let StateValue::Bytes(registers) = ctx.state() {
+            for tuple in tuples {
+                Self::add(registers, tuple.key(self.companion_field));
+            }
+        }
+        ctx.emitted.extend_from_slice(tuples);
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +246,63 @@ mod tests {
     fn windowed_state_is_sixteen_bytes() {
         let op = WindowedCountOperator::new(5);
         assert_eq!(op.init_state().size_bytes(), 16);
+    }
+
+    #[test]
+    fn windowed_on_batch_matches_per_tuple_across_boundaries() {
+        let t = Tuple::new([Key::new(1)], 0);
+        // Run lengths chosen to land on, straddle and skip whole
+        // window boundaries (window = 4).
+        for lens in [vec![3, 1, 4], vec![6, 6], vec![1, 1, 1, 1, 9], vec![13]] {
+            let mut batch_op = WindowedCountOperator::new(4);
+            let mut batch_state = batch_op.init_state();
+            let mut tuple_op = WindowedCountOperator::new(4);
+            let mut tuple_state = tuple_op.init_state();
+            for &n in &lens {
+                let tuples = vec![t; n];
+                let mut emitted = Vec::new();
+                let mut ctx = OpContext {
+                    state: Some(&mut batch_state),
+                    routing_key: Some(t.key(0)),
+                    emitted: &mut emitted,
+                };
+                batch_op.on_batch(&tuples, &mut ctx);
+                assert_eq!(emitted, tuples);
+                let mut per_tuple = Vec::new();
+                for &tt in &tuples {
+                    per_tuple.extend(run(&mut tuple_op, tt, &mut tuple_state));
+                }
+                assert_eq!(
+                    WindowedCountOperator::decode(&batch_state),
+                    WindowedCountOperator::decode(&tuple_state),
+                    "diverged after runs {lens:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approx_distinct_on_batch_matches_per_tuple() {
+        let tuples: Vec<Tuple> = (0..50u64)
+            .map(|v| Tuple::new([Key::new(1), Key::new(v % 7)], 0))
+            .collect();
+        let mut batch_op = ApproxDistinctOperator::new(1);
+        let mut batch_state = batch_op.init_state();
+        let mut emitted = Vec::new();
+        let mut ctx = OpContext {
+            state: Some(&mut batch_state),
+            routing_key: Some(Key::new(1)),
+            emitted: &mut emitted,
+        };
+        batch_op.on_batch(&tuples, &mut ctx);
+        assert_eq!(emitted, tuples);
+
+        let mut tuple_op = ApproxDistinctOperator::new(1);
+        let mut tuple_state = tuple_op.init_state();
+        for &t in &tuples {
+            run(&mut tuple_op, t, &mut tuple_state);
+        }
+        assert_eq!(batch_state, tuple_state);
     }
 
     #[test]

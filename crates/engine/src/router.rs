@@ -4,6 +4,46 @@ use crate::key::{splitmix64, Key};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A run of consecutive tuples routed to the same destination
+/// instance, as produced by [`KeyRouter::route_batch`].
+///
+/// The columnar data plane consumes batches as `(dest, len)` runs: one
+/// channel append, one edge-counter add and one sketch offer per run
+/// instead of per tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DestRun {
+    /// Destination instance index, in `0..instances`.
+    pub dest: u32,
+    /// Number of consecutive tuples routed there.
+    pub len: u32,
+}
+
+/// Appends `(dest, len)` to `out`, coalescing with the previous run of
+/// this call when the destination repeats. `start` is `out.len()` at
+/// the beginning of the `route_batch` call, so runs never merge across
+/// calls.
+#[inline]
+pub fn push_dest_run(out: &mut Vec<DestRun>, start: usize, dest: u32, len: u32) {
+    if out.len() > start {
+        if let Some(last) = out.last_mut() {
+            if last.dest == dest {
+                last.len += len;
+                return;
+            }
+        }
+    }
+    out.push(DestRun { dest, len });
+}
+
+/// Length of the leading run of equal keys in `keys` (0 when empty).
+#[inline]
+pub fn key_run_len(keys: &[Key]) -> usize {
+    match keys.first() {
+        None => 0,
+        Some(&first) => 1 + keys[1..].iter().take_while(|&&k| k == first).count(),
+    }
+}
+
 /// Decides which instance of the downstream operator receives a key.
 ///
 /// This is the extension point the paper's contribution plugs into:
@@ -18,6 +58,31 @@ pub trait KeyRouter: Send + Sync {
     ///
     /// Implementations may panic if `instances == 0`.
     fn route(&self, key: Key, instances: usize) -> u32;
+
+    /// Routes a whole batch of keys at once, appending the resulting
+    /// destination runs to `out` (runs within one call are coalesced;
+    /// `sum(len) == keys.len()` always holds).
+    ///
+    /// The contract is strict equivalence: expanding the runs must
+    /// yield exactly the per-key [`route`](KeyRouter::route) sequence,
+    /// including any observable side effects (fallback counters, load
+    /// state) in aggregate. The default implementation delegates
+    /// per key; stateless routers whose decision is pure in the key
+    /// ([`HashRouter`], `RoutingTable`) override it to route each run
+    /// of equal keys once, with a small last-key memo for alternating
+    /// keys — the batch-amortization lever of skewed streams, where
+    /// correlated keys arrive in runs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `instances == 0`.
+    fn route_batch(&self, keys: &[Key], instances: usize, out: &mut Vec<DestRun>) {
+        let start = out.len();
+        for &key in keys {
+            let dest = self.route(key, instances);
+            push_dest_run(out, start, dest, 1);
+        }
+    }
 
     /// Short name used in experiment logs.
     fn name(&self) -> &'static str {
@@ -42,6 +107,35 @@ impl KeyRouter for HashRouter {
     fn route(&self, key: Key, instances: usize) -> u32 {
         assert!(instances > 0, "routing to an operator with no instances");
         (key.stable_hash() % instances as u64) as u32
+    }
+
+    /// Hashes each run of equal keys once. A two-entry memo of the
+    /// most recent distinct keys catches alternating traffic (A B A B)
+    /// that run detection alone cannot coalesce.
+    fn route_batch(&self, keys: &[Key], instances: usize, out: &mut Vec<DestRun>) {
+        assert!(instances > 0, "routing to an operator with no instances");
+        let start = out.len();
+        let mut memo: [Option<(Key, u32)>; 2] = [None, None];
+        let mut rest = keys;
+        while !rest.is_empty() {
+            let key = rest[0];
+            let len = key_run_len(rest);
+            let dest = match memo {
+                [Some((k, d)), _] if k == key => d,
+                [_, Some((k, d))] if k == key => {
+                    memo.swap(0, 1); // keep the most recent key in front
+                    d
+                }
+                _ => {
+                    let d = self.route(key, instances);
+                    memo[1] = memo[0];
+                    memo[0] = Some((key, d));
+                    d
+                }
+            };
+            push_dest_run(out, start, dest, len as u32);
+            rest = &rest[len..];
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -343,6 +437,82 @@ mod tests {
             imb(&hash_loads) > 1.8,
             "hash should be skewed: {hash_loads:?}"
         );
+    }
+
+    /// Expands `(dest, len)` runs back into one destination per key.
+    fn expand(runs: &[DestRun]) -> Vec<u32> {
+        runs.iter()
+            .flat_map(|r| std::iter::repeat_n(r.dest, r.len as usize))
+            .collect()
+    }
+
+    fn per_key(router: &dyn KeyRouter, keys: &[Key], instances: usize) -> Vec<u32> {
+        keys.iter().map(|&k| router.route(k, instances)).collect()
+    }
+
+    #[test]
+    fn route_batch_matches_per_key_route() {
+        // Runs, alternation, and a long mixed tail.
+        let mut keys: Vec<Key> = Vec::new();
+        keys.extend([3, 3, 3, 7, 3, 7, 3, 7, 9, 9].map(Key::new));
+        for v in 0..200u64 {
+            keys.push(Key::new(splitmix64(v) % 17));
+        }
+        for instances in 1..6 {
+            for router in [&HashRouter as &dyn KeyRouter, &ModuloRouter, &ShiftedRouter::new(2)] {
+                let mut runs = Vec::new();
+                router.route_batch(&keys, instances, &mut runs);
+                assert_eq!(
+                    expand(&runs),
+                    per_key(router, &keys, instances),
+                    "{} route_batch diverged at parallelism {instances}",
+                    router.name()
+                );
+                assert_eq!(
+                    runs.iter().map(|r| r.len as usize).sum::<usize>(),
+                    keys.len()
+                );
+                // Runs are maximal: no two adjacent runs share a dest.
+                assert!(runs.windows(2).all(|w| w[0].dest != w[1].dest));
+            }
+        }
+    }
+
+    #[test]
+    fn route_batch_memo_covers_alternating_keys() {
+        // A B A B …: run detection sees only length-1 runs, so any
+        // coalescing must come from the memo — and the output must
+        // still match the per-key baseline exactly.
+        let keys: Vec<Key> = (0..100).map(|i| Key::new(if i % 2 == 0 { 5 } else { 11 })).collect();
+        let mut runs = Vec::new();
+        HashRouter.route_batch(&keys, 7, &mut runs);
+        assert_eq!(expand(&runs), per_key(&HashRouter, &keys, 7));
+    }
+
+    #[test]
+    fn route_batch_appends_without_cross_call_merge() {
+        let mut runs = vec![DestRun { dest: 0, len: 3 }];
+        // Key 0 hashes somewhere; even if it lands on dest 0 the new
+        // run must not merge into the pre-existing one.
+        HashRouter.route_batch(&[Key::new(0), Key::new(0)], 1, &mut runs);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], DestRun { dest: 0, len: 3 });
+        assert_eq!(runs[1], DestRun { dest: 0, len: 2 });
+    }
+
+    #[test]
+    fn route_batch_empty_is_noop() {
+        let mut runs = Vec::new();
+        HashRouter.route_batch(&[], 4, &mut runs);
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn key_run_len_detects_leading_runs() {
+        let keys = [1, 1, 1, 2, 1].map(Key::new);
+        assert_eq!(key_run_len(&keys), 3);
+        assert_eq!(key_run_len(&keys[3..]), 1);
+        assert_eq!(key_run_len(&[]), 0);
     }
 
     #[test]

@@ -38,6 +38,20 @@ pub trait PairObserver: Send {
     /// Records one co-occurrence of `input` (the key the tuple arrived
     /// on) and `output` (the key it departs on).
     fn observe(&mut self, input: Key, output: Key);
+
+    /// Records `count` co-occurrences of the same `(input, output)`
+    /// pair at once — the columnar data plane coalesces runs of equal
+    /// keys before observing them.
+    ///
+    /// Must be equivalent to calling [`observe`](PairObserver::observe)
+    /// `count` times; the default does exactly that. Sketch-backed
+    /// observers override it with one weighted offer (one lock
+    /// acquisition per run instead of per tuple).
+    fn observe_run(&mut self, input: Key, output: Key, count: u64) {
+        for _ in 0..count {
+            self.observe(input, output);
+        }
+    }
 }
 
 impl<F> PairObserver for F
@@ -1361,7 +1375,7 @@ impl Simulation {
     ) {
         let dest_server = self.pois[to_poi].server;
         if dest_server == from_server {
-            wm.edges[edge.index()].local += 1;
+            wm.edges[edge.index()].record_local(1);
             self.pois[to_poi].input.push_back(InTuple {
                 tuple,
                 remote: false,
@@ -1374,12 +1388,9 @@ impl Simulation {
         let sender_clear = self.servers[from_server.0].backlog.is_empty();
         if sender_clear && self.net_budget_ok(from_server.0, dest_server.0, fb) {
             self.consume_net_budget(from_server.0, dest_server.0, fb);
-            let stats = &mut wm.edges[edge.index()];
-            stats.remote += 1;
-            stats.bytes += bytes;
-            if self.servers[from_server.0].rack != self.servers[dest_server.0].rack {
-                stats.cross_rack += 1;
-            }
+            let crossed =
+                u64::from(self.servers[from_server.0].rack != self.servers[dest_server.0].rack);
+            wm.edges[edge.index()].record_remote(1, crossed, bytes);
             self.pois[to_poi].input.push_back(InTuple {
                 tuple,
                 remote: true,
@@ -1422,13 +1433,10 @@ impl Simulation {
     fn deliver_remote_payload(&mut self, msg: NetMsg, wm: &mut WindowMetrics) {
         match msg.payload {
             NetPayload::Data { tuple, edge, born } => {
-                let stats = &mut wm.edges[edge.index()];
-                stats.remote += 1;
-                stats.bytes += msg.bytes;
                 let dest = self.pois[msg.to_poi].server.0;
-                if self.servers[msg.from_server].rack != self.servers[dest].rack {
-                    stats.cross_rack += 1;
-                }
+                let crossed =
+                    u64::from(self.servers[msg.from_server].rack != self.servers[dest].rack);
+                wm.edges[edge.index()].record_remote(1, crossed, msg.bytes);
                 self.pois[msg.to_poi].input.push_back(InTuple {
                     tuple,
                     remote: true,

@@ -73,6 +73,7 @@ impl Tuple {
     }
 
     /// Number of key fields.
+    #[inline]
     #[must_use]
     pub fn field_count(&self) -> usize {
         self.field_count as usize
@@ -83,6 +84,7 @@ impl Tuple {
     /// # Panics
     ///
     /// Panics if `index >= field_count()`.
+    #[inline]
     #[must_use]
     pub fn key(&self, index: usize) -> Key {
         assert!(index < self.field_count(), "field index out of range");
@@ -121,9 +123,44 @@ impl Tuple {
     }
 }
 
+/// Length of the leading run of tuples sharing the same key in
+/// `field` (0 when `tuples` is empty).
+///
+/// The columnar data plane chunks batches into such runs so that each
+/// distinct key pays for one route, one state lookup and one sketch
+/// offer regardless of the run length.
+///
+/// # Panics
+///
+/// Panics if a tuple in the leading run has no field `field`.
+#[inline]
+#[must_use]
+pub fn tuple_run_len(tuples: &[Tuple], field: usize) -> usize {
+    match tuples.first() {
+        None => 0,
+        Some(first) => {
+            let key = first.key(field);
+            1 + tuples[1..]
+                .iter()
+                .take_while(|t| t.key(field) == key)
+                .count()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tuple_run_len_detects_leading_runs() {
+        let t = |v: u64| Tuple::new([Key::new(v), Key::new(v * 10)], 0);
+        let tuples = [t(1), t(1), t(1), t(2), t(1)];
+        assert_eq!(tuple_run_len(&tuples, 0), 3);
+        assert_eq!(tuple_run_len(&tuples[3..], 0), 1);
+        assert_eq!(tuple_run_len(&tuples, 1), 3);
+        assert_eq!(tuple_run_len(&[], 0), 0);
+    }
 
     #[test]
     fn construction_and_access() {

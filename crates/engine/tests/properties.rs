@@ -183,6 +183,83 @@ proptest! {
     }
 }
 
+mod route_batch_props {
+    use proptest::prelude::*;
+    use streamloc_engine::{DestRun, HashRouter, Key, KeyRouter, ModuloRouter, ShiftedRouter};
+
+    /// Expands destination runs back to one destination per key.
+    fn expand(runs: &[DestRun]) -> Vec<u32> {
+        runs.iter()
+            .flat_map(|r| std::iter::repeat_n(r.dest, r.len as usize))
+            .collect()
+    }
+
+    /// Key sequences built from short runs over a small domain, so
+    /// both long runs and rapid alternation appear.
+    fn run_heavy_keys() -> impl Strategy<Value = Vec<Key>> {
+        prop::collection::vec((0u64..40, 1usize..6), 0..80).prop_map(|segments| {
+            segments
+                .into_iter()
+                .flat_map(|(k, n)| std::iter::repeat_n(Key::new(k), n))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The columnar contract: expanding `route_batch`'s runs must
+        /// reproduce the per-key `route` sequence exactly.
+        #[test]
+        fn hash_route_batch_equals_per_key_route(
+            keys in run_heavy_keys(),
+            instances in 1usize..12,
+        ) {
+            let mut runs = Vec::new();
+            HashRouter.route_batch(&keys, instances, &mut runs);
+            let per_key: Vec<u32> =
+                keys.iter().map(|&k| HashRouter.route(k, instances)).collect();
+            prop_assert_eq!(expand(&runs), per_key);
+            prop_assert!(runs.iter().all(|r| r.len > 0), "empty run emitted");
+        }
+
+        /// Strict A/B alternation is the memo's worst case — it must
+        /// still route identically (and exercise both memo slots).
+        #[test]
+        fn alternating_keys_route_identically(
+            a in 0u64..1_000,
+            b in 0u64..1_000,
+            n in 0usize..64,
+            instances in 1usize..8,
+        ) {
+            let keys: Vec<Key> = (0..n)
+                .map(|i| Key::new(if i % 2 == 0 { a } else { b }))
+                .collect();
+            let mut runs = Vec::new();
+            HashRouter.route_batch(&keys, instances, &mut runs);
+            let per_key: Vec<u32> =
+                keys.iter().map(|&k| HashRouter.route(k, instances)).collect();
+            prop_assert_eq!(expand(&runs), per_key);
+        }
+
+        /// Routers relying on the trait's default `route_batch` (no
+        /// override) satisfy the same contract.
+        #[test]
+        fn default_route_batch_equals_per_key_route(
+            keys in run_heavy_keys(),
+            instances in 1usize..12,
+            shift in 0u64..8,
+        ) {
+            let routers: [&dyn KeyRouter; 2] = [&ModuloRouter, &ShiftedRouter::new(shift)];
+            for router in routers {
+                let mut runs = Vec::new();
+                router.route_batch(&keys, instances, &mut runs);
+                let per_key: Vec<u32> =
+                    keys.iter().map(|&k| router.route(k, instances)).collect();
+                prop_assert_eq!(expand(&runs), per_key);
+            }
+        }
+    }
+}
+
 mod fanout_props {
     use proptest::prelude::*;
     use streamloc_engine::{

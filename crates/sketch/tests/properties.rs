@@ -198,6 +198,84 @@ proptest! {
     }
 }
 
+mod bulk_offer_props {
+    use proptest::prelude::*;
+    use streamloc_sketch::{CountMin, SpaceSaving};
+
+    /// A stream with deliberate runs of consecutive equal keys — the
+    /// shape the columnar data plane coalesces.
+    fn run_stream() -> impl Strategy<Value = Vec<u16>> {
+        prop::collection::vec((0u16..24, 1usize..6), 0..200).prop_map(|segments| {
+            segments
+                .into_iter()
+                .flat_map(|(k, n)| std::iter::repeat_n(k, n))
+                .collect()
+        })
+    }
+
+    /// Coalesces each leading run of equal keys into one
+    /// `(key, run length)` pair.
+    fn coalesce(stream: &[u16]) -> Vec<(u16, u64)> {
+        let mut runs = Vec::new();
+        let mut rest = stream;
+        while let Some(&first) = rest.first() {
+            let len = 1 + rest[1..].iter().take_while(|&&k| k == first).count();
+            runs.push((first, len as u64));
+            rest = &rest[len..];
+        }
+        runs
+    }
+
+    proptest! {
+        /// One weighted offer per run must leave the SpaceSaving
+        /// summary in exactly the state per-tuple offers produce:
+        /// within a run the key is monitored after its first unit
+        /// offer, so the remaining units are pure increments — which
+        /// is precisely what the weighted offer adds.
+        #[test]
+        fn coalesced_offers_match_per_tuple_offers(
+            stream in run_stream(),
+            capacity in 1usize..16,
+        ) {
+            let mut bulk = SpaceSaving::new(capacity);
+            let mut per = SpaceSaving::new(capacity);
+            for (key, weight) in coalesce(&stream) {
+                bulk.offer_weighted(key, weight);
+            }
+            for &key in &stream {
+                per.offer(key);
+            }
+            bulk.check_invariants();
+            prop_assert_eq!(bulk.total(), per.total());
+            prop_assert_eq!(bulk.len(), per.len());
+            for entry in bulk.iter() {
+                let other = per.get(entry.key);
+                prop_assert_eq!(
+                    other.map(|e| (e.count, e.error)),
+                    Some((entry.count, entry.error)),
+                    "summaries diverged at key {:?}", entry.key
+                );
+            }
+        }
+
+        /// `CountMin::offer_runs` must match per-key unit offers on
+        /// every estimate, not just on totals.
+        #[test]
+        fn count_min_offer_runs_matches_per_key(stream in run_stream()) {
+            let mut bulk = CountMin::new(3, 16);
+            let mut per = CountMin::new(3, 16);
+            bulk.offer_runs(&stream);
+            for k in &stream {
+                per.offer(k);
+            }
+            prop_assert_eq!(bulk.total(), per.total());
+            for key in 0u16..24 {
+                prop_assert_eq!(bulk.estimate(&key), per.estimate(&key));
+            }
+        }
+    }
+}
+
 mod count_min_props {
     use proptest::prelude::*;
     use streamloc_sketch::{CountMin, ExactCounter};
