@@ -1,6 +1,7 @@
-//! Hot-path bench: live throughput (unbatched vs batched vs columnar)
-//! and manager rebuild latency, emitting `BENCH_throughput.json` and
-//! `BENCH_rebuild.json` at the workspace root.
+//! Hot-path bench: live throughput (unbatched vs batched vs columnar),
+//! manager rebuild latency, and span-tracing overhead, emitting
+//! `BENCH_throughput.json`, `BENCH_rebuild.json` and
+//! `BENCH_span_overhead.json` at the workspace root.
 
 fn main() {
     let quick = streamloc_bench::quick_mode();
@@ -8,6 +9,8 @@ fn main() {
     println!("wrote {}", tpath.display());
     let (_, rpath) = streamloc_bench::hotpath::bench_rebuild(quick);
     println!("wrote {}", rpath.display());
+    let (span, spath) = streamloc_bench::hotpath::bench_span_overhead(quick);
+    println!("wrote {}", spath.display());
     let speedup = throughput.speedup();
     assert!(
         speedup >= 2.0,
@@ -17,5 +20,11 @@ fn main() {
     assert!(
         columnar >= 1.5,
         "columnar data plane must be >= 1.5x the batched path, got {columnar:.2}x"
+    );
+    let overhead = span.overhead();
+    assert!(
+        overhead <= 0.05,
+        "span sampling at 1/64 must cost <= 5% throughput, got {:.2}%",
+        overhead * 100.0
     );
 }

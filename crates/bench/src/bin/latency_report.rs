@@ -1,0 +1,51 @@
+//! Renders per-hop span-latency percentile tables (local vs. remote,
+//! per routing epoch) and the per-wave locality-latency delta.
+//!
+//! ```bash
+//! # Seeded live demo: worst-case shifted routing, then a mid-stream
+//! # wave to aligned modulo routing. Writes results/latency_report.csv
+//! # and results/latency_report.prom, then prints the tables:
+//! cargo run --release -p streamloc-bench --bin latency-report
+//! ```
+//!
+//! Sampling uses the deterministic 1/16 per-key sampler by default;
+//! set `STREAMLOC_SPAN_DENOM` to change the denominator.
+
+use streamloc_bench::csv::results_dir;
+use streamloc_bench::latency::run_live_demo;
+
+fn main() {
+    let quick = streamloc_bench::quick_mode();
+    let denominator = std::env::var("STREAMLOC_SPAN_DENOM")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let demo = run_live_demo(quick, denominator);
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let prom = dir.join("latency_report.prom");
+    std::fs::write(&prom, demo.registry.render_prometheus()).expect("write prometheus dump");
+    let csv = demo.report.write_csv("latency_report");
+
+    print!("{}", demo.report.render());
+    println!("prometheus: {}", prom.display());
+    println!("csv: {}", csv.display());
+
+    // The demo is seeded: both epochs must have sampled spans, split
+    // local/remote as the routers dictate, or the run is broken.
+    let epochs = demo.report.epochs();
+    assert!(
+        epochs.len() >= 2,
+        "expected spans under at least 2 epochs, got {epochs:?}"
+    );
+    let before = demo.report.remote_share(epochs[0]).expect("epoch 0 hops");
+    let after = demo
+        .report
+        .remote_share(*epochs.last().expect("non-empty"))
+        .expect("last epoch hops");
+    assert!(
+        after < before,
+        "reconfiguration must cut the remote hop share ({before:.2} → {after:.2})"
+    );
+}

@@ -14,12 +14,13 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use streamloc_bench::csv::{results_dir, CsvWriter};
+use streamloc_bench::latency::format_ns;
 use streamloc_core::{Manager, ManagerConfig};
 use streamloc_engine::obs::export::{csv_rows, parse_jsonl, write_jsonl, CSV_HEADER};
 use streamloc_engine::{
     ClusterSpec, ControlClass, CountOperator, FaultEvent, FaultPlan, Grouping, Key,
-    MetricsRegistry, Placement, SimConfig, Simulation, SourceRate, Topology, TraceEvent,
-    TraceEventKind, Tuple,
+    MetricsRegistry, Placement, SimConfig, Simulation, SourceRate, SpanSampler, Topology,
+    TraceEvent, TraceEventKind, Tuple,
 };
 
 fn main() {
@@ -75,6 +76,9 @@ fn demo_trace() -> Vec<TraceEvent> {
     sim.enable_tracing(16_384);
     let registry = Arc::new(MetricsRegistry::new());
     sim.attach_metrics(&registry);
+    // Sample 1 key in 4 so the timeline also shows span begin/hop/end
+    // lines alongside the wave protocol.
+    sim.enable_span_tracing(SpanSampler::new(0xC0FFEE, 4), Some(Arc::clone(&registry)));
     let mut manager = Manager::attach(&mut sim, ManagerConfig::default());
     manager.attach_metrics(&registry);
     sim.install_fault_plan(
@@ -114,6 +118,12 @@ struct StepLine {
     last_window: u64,
     count: u64,
     bytes: u64,
+    /// Accumulated span time (queue + proc of hops), nanoseconds.
+    span_ns: u64,
+    /// Slowest end-to-end span seen, nanoseconds.
+    span_max_ns: u64,
+    /// Hops that crossed a server boundary.
+    remote_hops: u64,
     detail: String,
 }
 
@@ -165,6 +175,9 @@ fn print_timeline<'a>(events: impl Iterator<Item = &'a TraceEvent>) {
             last_window: e.window,
             count: 0,
             bytes: 0,
+            span_ns: 0,
+            span_max_ns: 0,
+            remote_hops: 0,
             detail: String::new(),
         });
         line.first_window = line.first_window.min(e.window);
@@ -187,6 +200,18 @@ fn print_timeline<'a>(events: impl Iterator<Item = &'a TraceEvent>) {
             TraceEventKind::WaveRolledBack { nacked, attempt } => {
                 line.detail = format!("nacked={nacked} attempt={attempt}");
             }
+            TraceEventKind::SpanHop {
+                queue_ns,
+                proc_ns,
+                remote,
+                ..
+            } => {
+                line.span_ns += queue_ns + proc_ns;
+                line.remote_hops += u64::from(remote);
+            }
+            TraceEventKind::SpanEnd { total_ns, .. } => {
+                line.span_max_ns = line.span_max_ns.max(total_ns);
+            }
             _ => {}
         }
     }
@@ -202,6 +227,16 @@ fn print_timeline<'a>(events: impl Iterator<Item = &'a TraceEvent>) {
         }
         if line.bytes > 0 {
             extras.push(format!("{} bytes", line.bytes));
+        }
+        if line.span_ns > 0 {
+            extras.push(format!(
+                "Σ {} ({} remote)",
+                format_ns(line.span_ns),
+                line.remote_hops
+            ));
+        }
+        if line.span_max_ns > 0 {
+            extras.push(format!("max {}", format_ns(line.span_max_ns)));
         }
         if !line.detail.is_empty() {
             extras.push(line.detail.clone());

@@ -1,0 +1,265 @@
+//! Bench trend history: an append-only `BENCH_history.jsonl` at the
+//! workspace root, one line per `bench-check --history` run, carrying
+//! the machine tag, commit, best columnar throughput and warm rebuild
+//! latency — the multi-commit trend series ROADMAP asked for.
+//!
+//! The format is the same flat hand-rolled JSON as the other bench
+//! artifacts (no serialization dependency); [`parse_entries`] scans it
+//! back. [`trend_warnings`] flags a metric that declined on three
+//! consecutive runs *of the same machine tag* — cross-machine numbers
+//! are not comparable, so trends are tracked per tag.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+use crate::check::extract_number;
+
+/// One appended bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryEntry {
+    /// Unix seconds when the entry was recorded.
+    pub timestamp: u64,
+    /// Machine tag (`STREAMLOC_MACHINE`, falling back to the hostname).
+    pub machine: String,
+    /// Short commit hash, `"unknown"` outside a git checkout.
+    pub commit: String,
+    /// Best columnar throughput of the run, tuples/second.
+    pub tuples_per_s: f64,
+    /// Warm-start rebuild latency of the run, milliseconds.
+    pub rebuild_warm_ms: f64,
+}
+
+impl HistoryEntry {
+    /// Renders the single JSONL line (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"timestamp\": {}, \"machine\": \"{}\", \"commit\": \"{}\", \"tuples_per_s\": {:.1}, \"rebuild_warm_ms\": {:.3}}}",
+            self.timestamp,
+            escape(&self.machine),
+            escape(&self.commit),
+            self.tuples_per_s,
+            self.rebuild_warm_ms,
+        );
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .filter(|c| !c.is_control() && *c != '"' && *c != '\\')
+        .collect()
+}
+
+/// Extracts the string following `"key":` in a flat JSON line.
+#[must_use]
+pub fn extract_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Parses every well-formed history line; malformed lines are skipped
+/// (the file is append-only across versions, so tolerate drift).
+#[must_use]
+pub fn parse_entries(jsonl: &str) -> Vec<HistoryEntry> {
+    jsonl
+        .lines()
+        .filter_map(|line| {
+            Some(HistoryEntry {
+                timestamp: extract_number(line, "timestamp")? as u64,
+                machine: extract_string(line, "machine")?,
+                commit: extract_string(line, "commit")?,
+                tuples_per_s: extract_number(line, "tuples_per_s")?,
+                rebuild_warm_ms: extract_number(line, "rebuild_warm_ms")?,
+            })
+        })
+        .collect()
+}
+
+/// Warnings for metrics that declined on three consecutive runs of the
+/// same machine tag (including `entry` as the latest run).
+#[must_use]
+pub fn trend_warnings(history: &[HistoryEntry], entry: &HistoryEntry) -> Vec<String> {
+    let mut runs: Vec<&HistoryEntry> = history
+        .iter()
+        .filter(|e| e.machine == entry.machine)
+        .collect();
+    runs.push(entry);
+    let mut warnings = Vec::new();
+    if runs.len() < 3 {
+        return warnings;
+    }
+    let last3 = &runs[runs.len() - 3..];
+    if last3.windows(2).all(|w| w[1].tuples_per_s < w[0].tuples_per_s) {
+        warnings.push(format!(
+            "throughput declined 3 runs in a row on '{}': {:.0} → {:.0} → {:.0} t/s",
+            entry.machine, last3[0].tuples_per_s, last3[1].tuples_per_s, last3[2].tuples_per_s,
+        ));
+    }
+    if last3
+        .windows(2)
+        .all(|w| w[1].rebuild_warm_ms > w[0].rebuild_warm_ms)
+    {
+        warnings.push(format!(
+            "warm rebuild latency grew 3 runs in a row on '{}': {:.2} → {:.2} → {:.2} ms",
+            entry.machine, last3[0].rebuild_warm_ms, last3[1].rebuild_warm_ms, last3[2].rebuild_warm_ms,
+        ));
+    }
+    warnings
+}
+
+/// The machine tag: `STREAMLOC_MACHINE` if set, else the hostname,
+/// else `"unknown"`.
+#[must_use]
+pub fn machine_tag() -> String {
+    if let Ok(tag) = std::env::var("STREAMLOC_MACHINE") {
+        if !tag.is_empty() {
+            return tag;
+        }
+    }
+    Command::new("hostname")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// The short commit hash of `repo`, or `"unknown"`.
+#[must_use]
+pub fn commit_hash(repo: &Path) -> String {
+    Command::new("git")
+        .arg("-C")
+        .arg(repo)
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Builds the entry for the current run from the bench artifacts'
+/// JSON, stamping machine, commit and wall-clock time.
+#[must_use]
+pub fn current_entry(repo: &Path, throughput_json: &str, rebuild_json: &str) -> Option<HistoryEntry> {
+    let tuples_per_s = crate::check::best_mode_throughput(throughput_json, "columnar")?;
+    let rebuild_warm_ms = extract_number(rebuild_json, "warm_ms")?;
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Some(HistoryEntry {
+        timestamp,
+        machine: machine_tag(),
+        commit: commit_hash(repo),
+        tuples_per_s,
+        rebuild_warm_ms,
+    })
+}
+
+/// Appends `entry` to `path` (creating the file if needed) and returns
+/// the trend warnings against the history that preceded it.
+///
+/// # Panics
+///
+/// Panics on I/O errors — the history file is the whole point of
+/// `--history` mode.
+pub fn append_and_check(path: &Path, entry: &HistoryEntry) -> Vec<String> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let history = parse_entries(&existing);
+    let warnings = trend_warnings(&history, entry);
+    let mut text = existing;
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&entry.to_json());
+    text.push('\n');
+    std::fs::write(path, text).expect("append BENCH_history.jsonl");
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(machine: &str, tput: f64, rebuild: f64) -> HistoryEntry {
+        HistoryEntry {
+            timestamp: 1_700_000_000,
+            machine: machine.to_owned(),
+            commit: "abc1234".to_owned(),
+            tuples_per_s: tput,
+            rebuild_warm_ms: rebuild,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let e = entry("ci-runner", 123_456.7, 12.345);
+        let parsed = parse_entries(&e.to_json());
+        assert_eq!(parsed, vec![e]);
+        // Malformed lines are skipped, valid ones kept.
+        let mixed = format!("not json\n{}\n{{\"half\": 1}}\n", entry("m", 1.0, 2.0).to_json());
+        assert_eq!(parse_entries(&mixed).len(), 1);
+    }
+
+    #[test]
+    fn warns_on_three_run_monotonic_decline() {
+        let history = vec![entry("m", 3000.0, 10.0), entry("m", 2000.0, 10.0)];
+        let warnings = trend_warnings(&history, &entry("m", 1000.0, 10.0));
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("throughput declined"));
+        // A recovery in the middle clears the streak.
+        let history = vec![entry("m", 3000.0, 10.0), entry("m", 3500.0, 10.0)];
+        assert!(trend_warnings(&history, &entry("m", 1000.0, 10.0)).is_empty());
+        // Rebuild growth warns separately.
+        let history = vec![entry("m", 1000.0, 10.0), entry("m", 1000.0, 11.0)];
+        let warnings = trend_warnings(&history, &entry("m", 1000.0, 12.0));
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("rebuild"));
+    }
+
+    #[test]
+    fn trends_are_per_machine() {
+        let history = vec![entry("a", 3000.0, 10.0), entry("a", 2000.0, 10.0)];
+        // Same shape of decline, but the latest run is another machine.
+        assert!(trend_warnings(&history, &entry("b", 1000.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn append_accumulates_and_checks() {
+        let dir = std::env::temp_dir().join("streamloc_history_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert!(append_and_check(&path, &entry("m", 3000.0, 10.0)).is_empty());
+        assert!(append_and_check(&path, &entry("m", 2000.0, 10.0)).is_empty());
+        let warnings = append_and_check(&path, &entry("m", 1000.0, 10.0));
+        assert_eq!(warnings.len(), 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_entries(&text).len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn current_entry_reads_bench_artifacts() {
+        let throughput = r#"{"runs": [
+            {"mode": "columnar", "batch_size": 64, "tuples_per_s": 5000.0},
+            {"mode": "columnar", "batch_size": 256, "tuples_per_s": 7000.0}
+        ]}"#;
+        let rebuild = r#"{"warm_ms": 12.5}"#;
+        let e = current_entry(Path::new("."), throughput, rebuild).unwrap();
+        assert!((e.tuples_per_s - 7000.0).abs() < 1e-9);
+        assert!((e.rebuild_warm_ms - 12.5).abs() < 1e-9);
+        assert!(!e.machine.is_empty());
+        assert!(current_entry(Path::new("."), "{}", rebuild).is_none());
+    }
+}

@@ -207,6 +207,10 @@ pub struct Manager {
     /// warm-start hint for the next window (empty before the first
     /// round).
     prev_assignment: HashMap<(PoId, Key), u32>,
+    /// Optimization rounds run so far; each rebuilt table is stamped
+    /// with the round it was generated in (its routing epoch, see
+    /// [`RoutingTable::set_epoch`]).
+    rounds: u64,
 }
 
 impl Manager {
@@ -332,6 +336,7 @@ impl Manager {
             tables,
             fallback_counters: None,
             prev_assignment: HashMap::new(),
+            rounds: 0,
         }
     }
 
@@ -689,6 +694,7 @@ impl Manager {
         }
 
         // Assemble tables, router updates and migrations.
+        self.rounds += 1;
         let mut routers: Vec<(PoiId, EdgeId, Arc<dyn KeyRouter>)> = Vec::new();
         let mut migrations = Vec::new();
         let mut table_entries = 0usize;
@@ -696,6 +702,7 @@ impl Manager {
             let mut table = RoutingTable::from_assignments(
                 assignments[slot].iter().map(|(&k, &i)| (k, i)),
             );
+            table.set_epoch(self.rounds);
             if let Some((hash, stale)) = &self.fallback_counters {
                 table.attach_fallback_counters(hash.clone(), stale.clone());
             }

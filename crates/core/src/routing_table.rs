@@ -48,6 +48,11 @@ pub struct RoutingTable {
     /// Incremented when a key takes the hash route because its explicit
     /// entry points past the current parallelism (stale entry).
     stale_entry_fallback: Counter,
+    /// Reconfiguration epoch this table was generated in (the
+    /// manager's wave count at build time). Surfaced through
+    /// [`KeyRouter::epoch`] so span-tracing hops can tag latency
+    /// observations with the routing generation they ran under.
+    epoch: u64,
 }
 
 // Equality is over the routing decisions only; the observability
@@ -117,6 +122,20 @@ impl RoutingTable {
         let before = self.table.len();
         self.table.retain(|_, &mut i| (i as usize) < instances);
         before - self.table.len()
+    }
+
+    /// Stamps the reconfiguration epoch this table belongs to.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// The reconfiguration epoch stamped by [`set_epoch`]
+    /// (0 for tables never stamped).
+    ///
+    /// [`set_epoch`]: Self::set_epoch
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Wires the fallback counters to externally owned handles
@@ -207,6 +226,10 @@ impl KeyRouter for RoutingTable {
 
     fn name(&self) -> &'static str {
         "table"
+    }
+
+    fn epoch(&self) -> Option<u64> {
+        Some(self.epoch)
     }
 }
 
@@ -309,6 +332,18 @@ mod tests {
         );
         assert!(batch_t.hash_fallbacks() > 0);
         assert!(batch_t.stale_entry_fallbacks() > 0);
+    }
+
+    #[test]
+    fn epoch_stamp_rides_outside_equality() {
+        let mut a = RoutingTable::from_assignments([(Key::new(1), 0)]);
+        let b = a.clone();
+        assert_eq!(KeyRouter::epoch(&a), Some(0));
+        a.set_epoch(3);
+        assert_eq!(a.epoch(), 3);
+        assert_eq!(KeyRouter::epoch(&a), Some(3));
+        // Equality stays over routing decisions only.
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -80,7 +80,8 @@ pub use key::{splitmix64, Key, KeyInterner};
 pub use live::{InstanceReport, LiveConfig, LiveObserver, LiveReconfig, LiveRuntime};
 pub use metrics::{EdgeWindowStats, MetricsLog, WindowMetrics};
 pub use obs::{
-    Counter, EventTracer, Gauge, Histogram, MetricsRegistry, TraceEvent, TraceEventKind,
+    log2_bounds, Counter, EventTracer, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    SpanMetricName, SpanPhase, SpanRecorder, SpanSampler, TraceEvent, TraceEventKind,
 };
 pub use operator::{
     CountOperator, FnOperator, IdentityOperator, OpContext, Operator, OperatorFactory, StateValue,

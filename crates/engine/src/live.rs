@@ -33,7 +33,7 @@ use parking_lot::Mutex;
 use crate::checkpoint::ClusterCheckpoint;
 use crate::fault::{ControlClass, ControlFate, FaultInjector, FaultPlan};
 use crate::key::Key;
-use crate::obs::{Counter, MetricsRegistry};
+use crate::obs::{Counter, MetricsRegistry, SpanRecorder, SpanSampler};
 use crate::operator::{OpContext, Operator, StateValue};
 use crate::reconfig::{ReconfigError, WaveConfig};
 
@@ -171,6 +171,16 @@ pub struct LiveConfig {
     /// bytes, batch sends/flushes) there; workers feed them with
     /// relaxed atomic increments.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Span tracing: a deterministic per-key sampler selecting the
+    /// tuples whose per-hop latency is measured. Sources stamp sampled
+    /// tuples with a monotonic origin time; every hop records queue
+    /// wait and processing time into `span_*` histograms of
+    /// [`metrics`](Self::metrics) (see
+    /// [`SpanMetricName`](crate::SpanMetricName)), split by local vs.
+    /// remote hop and tagged with the active routing epoch. `None`
+    /// (the default) disables tracing: the hot path pays one
+    /// never-taken branch per tuple.
+    pub span_sampler: Option<SpanSampler>,
 }
 
 impl Default for LiveConfig {
@@ -180,6 +190,7 @@ impl Default for LiveConfig {
             batch_size: 64,
             columnar: true,
             metrics: None,
+            span_sampler: None,
         }
     }
 }
@@ -288,6 +299,25 @@ struct WorkerShared {
     columnar: bool,
     /// Hot-path observability counters (see [`LiveHot`]).
     hot: LiveHot,
+    /// Span sampler (see [`LiveConfig::span_sampler`]); `None` keeps
+    /// every span branch on the hot path never-taken.
+    sampler: Option<SpanSampler>,
+    /// Registry span histograms are registered in (each worker owns a
+    /// [`SpanRecorder`]; idempotent registration shares the buckets).
+    span_metrics: Option<Arc<MetricsRegistry>>,
+    /// The runtime's monotonic clock epoch: all span timestamps are
+    /// nanoseconds since this instant, so they are comparable across
+    /// worker threads.
+    clock: Instant,
+    /// Routing epoch, bumped when a reconfiguration wave completes.
+    /// Workers read it (relaxed) when recording span observations, so
+    /// latency histograms are split before/after each wave.
+    epoch: AtomicU64,
+}
+
+/// Nanoseconds since the runtime clock's epoch.
+fn span_now_ns(clock: &Instant) -> u64 {
+    clock.elapsed().as_nanos() as u64
 }
 
 /// Sends one coalesced batch, consulting the armed fault injector
@@ -421,11 +451,19 @@ impl WorkerCtx {
             let dest_idx = shared.poi_base[out.dest_po] + dest_instance;
             let counters = &shared.edges[out.edge];
             shared.hot.tuples_routed.inc();
-            if shared.server[dest_idx] != my_server {
+            let remote_hop = shared.server[dest_idx] != my_server;
+            if remote_hop {
                 counters.remote.fetch_add(1, Ordering::Relaxed);
                 shared.hot.tuples_remote.inc();
             } else {
                 counters.local.fetch_add(1, Ordering::Relaxed);
+            }
+            // Span hop stamp: the sender knows the hop's locality, so
+            // it stamps send time + remote bit per destination. Only
+            // sampled tuples pay the clock read.
+            let mut tuple = tuple;
+            if tuple.is_span_sampled() {
+                tuple.set_span_hop(span_now_ns(&shared.clock), remote_hop);
             }
             self.push_tuple(shared, dest_idx, tuple);
         }
@@ -444,13 +482,13 @@ impl WorkerCtx {
     /// to the per-tuple path — interleaving whole per-edge runs would
     /// reorder tuples *across* edges relative to per-tuple routing,
     /// and round-robin shuffle state is inherently per tuple.
-    fn route_out_batch(&mut self, shared: &WorkerShared, tuples: &[Tuple]) {
+    fn route_out_batch(&mut self, shared: &WorkerShared, tuples: &mut [Tuple]) {
         if tuples.is_empty() {
             return;
         }
         let outs = &shared.outs[self.po_idx];
         if !(self.columnar && outs.len() == 1 && outs[0].field.is_some()) {
-            for &tuple in tuples {
+            for tuple in tuples.iter().copied() {
                 self.route_out(shared, tuple);
             }
             return;
@@ -470,15 +508,30 @@ impl WorkerCtx {
             .unwrap_or(&out.router)
             .route_batch(&self.key_buf, dest_parallelism, &mut runs);
 
+        // One clock read per batch covers every span hop stamp in it;
+        // sampler off ⇒ the whole block is skipped.
+        let hop_now = shared.sampler.as_ref().map(|_| span_now_ns(&shared.clock));
+
         let (mut local, mut remote) = (0u64, 0u64);
         let mut offset = 0usize;
         for run in &runs {
             let len = run.len as usize;
             let dest_idx = base + run.dest as usize;
-            if shared.server[dest_idx] == my_server {
-                local += u64::from(run.len);
-            } else {
+            let remote_hop = shared.server[dest_idx] != my_server;
+            if remote_hop {
                 remote += u64::from(run.len);
+            } else {
+                local += u64::from(run.len);
+            }
+            if let Some(now) = hop_now {
+                // One predictable branch per tuple: at 1/64 sampling
+                // the stamp is almost never taken, and the plain pass
+                // beats re-detecting key runs just to share it.
+                for t in &mut tuples[offset..offset + len] {
+                    if t.is_span_sampled() {
+                        t.set_span_hop(now, remote_hop);
+                    }
+                }
             }
             let mut rest = &tuples[offset..offset + len];
             offset += len;
@@ -723,6 +776,10 @@ impl LiveRuntime {
             batch_size: config.batch_size,
             columnar: config.columnar,
             hot: LiveHot::new(config.metrics.as_deref()),
+            sampler: config.span_sampler,
+            span_metrics: config.metrics.clone(),
+            clock: Instant::now(),
+            epoch: AtomicU64::new(0),
         });
 
         type ObserverEntry = (EdgeId, usize, Box<dyn PairObserver>);
@@ -1048,6 +1105,19 @@ impl LiveRuntime {
                 }
             }
             if apply_done(&applied, &exited) {
+                // Bump the routing epoch: span observations recorded
+                // from here on ran under the new tables. Use the
+                // epoch the manager stamped on its tables when
+                // available (keeps live and manager numbering
+                // aligned), but never go backwards.
+                let stamped = plan
+                    .routers
+                    .iter()
+                    .filter_map(|(_, _, r)| r.epoch())
+                    .max()
+                    .unwrap_or(0);
+                let next = (self.shared.epoch.load(Ordering::Relaxed) + 1).max(stamped);
+                self.shared.epoch.store(next, Ordering::Relaxed);
                 return if exited.is_empty() {
                     Ok(())
                 } else {
@@ -1256,7 +1326,15 @@ fn source_loop(
             }
         }
         emitted += stage.len() as u64;
-        ctx.route_out_batch(&shared, &stage);
+        // Span origin: sampled tuples get their birth timestamp here,
+        // once, before entering the data plane. Sampling is decided on
+        // the field the (first) fields-grouped out edge routes on.
+        if let Some(sampler) = &shared.sampler {
+            if let Some(field) = shared.outs[po_idx].iter().find_map(|o| o.field) {
+                sampler.stamp_batch(&mut stage, field, span_now_ns(&shared.clock));
+            }
+        }
+        ctx.route_out_batch(&shared, &mut stage);
         if exhausted {
             break;
         }
@@ -1336,6 +1414,17 @@ fn operator_loop(
     let mut processed = 0u64;
     let mut emitted: Vec<Tuple> = Vec::new();
 
+    // Span tracing: each worker owns a recorder (idempotent registry
+    // registration shares the histograms across workers); `None` when
+    // the sampler is off, so the hot path pays one never-taken branch.
+    let mut span_rec: Option<SpanRecorder> = shared
+        .sampler
+        .map(|_| SpanRecorder::new(shared.span_metrics.clone()));
+    let is_sink = shared.outs[po_idx].is_empty();
+    // Scratch `(hop_send_ns, remote, origin_ns)` stamps collected from
+    // a batch before processing (the batch is consumed by dispatch).
+    let mut sampled_buf: Vec<(u64, bool, u64)> = Vec::new();
+
     // Reconfiguration runtime.
     let mut staged: Option<(RouterUpdates, Vec<(Key, usize)>)> = None;
     let mut awaiting = 0usize;
@@ -1384,6 +1473,15 @@ fn operator_loop(
                 emitted,
             };
             op.process(tuple, &mut op_ctx);
+        }
+        // Derived output inherits the input's span origin, so a span
+        // follows the tuple's lineage across transforming operators
+        // (forwarding operators copy the stamp implicitly).
+        if tuple.is_span_sampled() {
+            let origin = tuple.span_origin_ns();
+            for t in emitted.iter_mut() {
+                t.set_span_origin(origin);
+            }
         }
         if let Some(in_key) = state_key {
             if !observers.is_empty() {
@@ -1434,8 +1532,8 @@ fn operator_loop(
                 emitted: &mut *emitted,
             };
             op.on_batch(tuples, &mut op_ctx);
-            let out = std::mem::take(emitted);
-            ctx.route_out_batch(shared, &out);
+            let mut out = std::mem::take(emitted);
+            ctx.route_out_batch(shared, &mut out);
             *emitted = out;
             return;
         };
@@ -1465,6 +1563,15 @@ fn operator_loop(
                 };
                 op.on_batch(&rest[..len], &mut op_ctx);
             }
+            // One branch per key run: sampling is per key, so the run
+            // head decides span-origin inheritance for the whole run's
+            // derived output (see `process_one`).
+            if rest[0].is_span_sampled() {
+                let origin = rest[0].span_origin_ns();
+                for t in emitted[run_start..].iter_mut() {
+                    t.set_span_origin(origin);
+                }
+            }
             if !observers.is_empty() {
                 for out in &shared.outs[ctx.po_idx] {
                     let Some(slots) = observers.get_mut(&out.edge) else {
@@ -1485,8 +1592,8 @@ fn operator_loop(
             }
             rest = &rest[len..];
         }
-        let out = std::mem::take(emitted);
-        ctx.route_out_batch(shared, &out);
+        let mut out = std::mem::take(emitted);
+        ctx.route_out_batch(shared, &mut out);
         *emitted = out;
     }
 
@@ -1520,6 +1627,12 @@ fn operator_loop(
         };
         match msg {
             Msg::Data(tuple) => {
+                // Capture the sender's hop stamp and an arrival clock
+                // before dispatch; record only if the tuple was
+                // actually processed (buffered/forwarded tuples get a
+                // fresh stamp when they re-enter the data path).
+                let hop = if span_rec.is_some() { tuple.span_hop() } else { None };
+                let arrive = hop.map(|_| span_now_ns(&shared.clock));
                 if process_one(
                     tuple,
                     op.as_mut(),
@@ -1534,9 +1647,48 @@ fn operator_loop(
                     &shared,
                 ) {
                     processed += 1;
+                    if let (Some(rec), Some((sent, remote)), Some(arrive)) =
+                        (span_rec.as_mut(), hop, arrive)
+                    {
+                        let done = span_now_ns(&shared.clock);
+                        let epoch = shared.epoch.load(Ordering::Relaxed);
+                        rec.record_hop(
+                            po_idx,
+                            epoch,
+                            remote,
+                            arrive.saturating_sub(sent),
+                            done.saturating_sub(arrive),
+                        );
+                        if is_sink {
+                            rec.record_end(
+                                po_idx,
+                                epoch,
+                                done.saturating_sub(tuple.span_origin_ns()),
+                            );
+                        }
+                    }
                 }
             }
             Msg::Batch(tuples) => {
+                // Collect the batch's span stamps up front (dispatch
+                // consumes the tuples): one `(sent, remote, origin)`
+                // entry per sampled tuple. Queue wait is per sender
+                // stamp; processing time is attributed as an equal
+                // share of the batch's dispatch, since columnar
+                // processing has no per-tuple boundary to time.
+                let mut arrive = None;
+                if span_rec.is_some() {
+                    sampled_buf.clear();
+                    for t in &tuples {
+                        if let Some((sent, remote)) = t.span_hop() {
+                            sampled_buf.push((sent, remote, t.span_origin_ns()));
+                        }
+                    }
+                    if !sampled_buf.is_empty() {
+                        arrive = Some(span_now_ns(&shared.clock));
+                    }
+                }
+                let batch_len = tuples.len() as u64;
                 // Columnar dispatch requires a quiet instance: with
                 // keys pending migration or departed, individual
                 // tuples may need buffering/forwarding, so the batch
@@ -1572,6 +1724,23 @@ fn operator_loop(
                             &shared,
                         ) {
                             processed += 1;
+                        }
+                    }
+                }
+                if let (Some(rec), Some(arrive)) = (span_rec.as_mut(), arrive) {
+                    let done = span_now_ns(&shared.clock);
+                    let per_tuple = done.saturating_sub(arrive) / batch_len.max(1);
+                    let epoch = shared.epoch.load(Ordering::Relaxed);
+                    for &(sent, remote, origin) in &sampled_buf {
+                        rec.record_hop(
+                            po_idx,
+                            epoch,
+                            remote,
+                            arrive.saturating_sub(sent),
+                            per_tuple,
+                        );
+                        if is_sink {
+                            rec.record_end(po_idx, epoch, done.saturating_sub(origin));
                         }
                     }
                 }
@@ -1916,6 +2085,96 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn span_sampling_records_hop_histograms_split_by_epoch() {
+        use crate::obs::{SpanMetricName, SpanPhase};
+
+        let n = 3;
+        let keys = 9u64;
+        let total = 40_000u64;
+        let mut b = Topology::builder();
+        let s = b.source("S", n, SourceRate::PerSecond(50_000.0), move |i| {
+            let mut c = i as u64;
+            let mut left = total / n as u64;
+            Box::new(move || {
+                if left == 0 {
+                    return None;
+                }
+                left -= 1;
+                c = c.wrapping_add(0x9e37_79b9);
+                let k = c % keys;
+                Some(Tuple::new([Key::new(k), Key::new(k)], 0))
+            })
+        });
+        let a = b.stateful("A", n, CountOperator::factory());
+        let bb = b.stateful("B", n, CountOperator::factory());
+        b.connect(s, a, Grouping::fields(0));
+        b.connect(a, bb, Grouping::fields(1));
+        let topo = b.build().unwrap();
+        let placement = Placement::aligned(&topo, n);
+        let registry = Arc::new(MetricsRegistry::new());
+        let rt = LiveRuntime::start(
+            topo,
+            placement,
+            n,
+            LiveConfig {
+                metrics: Some(Arc::clone(&registry)),
+                span_sampler: Some(SpanSampler::new(7, 2)),
+                ..LiveConfig::default()
+            },
+        );
+        std::thread::sleep(std::time::Duration::from_millis(30));
+
+        let hash = HashRouter;
+        let migrations: Vec<(PoId, Key, usize, usize)> = (0..keys)
+            .map(|k| {
+                let key = Key::new(k);
+                let old = hash.route(key, n) as usize;
+                let new = (k % n as u64) as usize;
+                (PoId(2), key, old, new)
+            })
+            .filter(|&(_, _, old, new)| old != new)
+            .collect();
+        rt.reconfigure(LiveReconfig {
+            routers: vec![(PoId(1), EdgeId(1), Arc::new(ModuloRouter))],
+            migrations,
+        });
+        let reports = rt.join();
+
+        // Sampling must not perturb the data plane.
+        let b_counts = counts_of(&reports, PoId(2));
+        let expected = (total / n as u64) * n as u64;
+        assert_eq!(b_counts.values().sum::<u64>(), expected);
+
+        let span_names: Vec<SpanMetricName> = registry
+            .histograms()
+            .iter()
+            .filter(|(_, snap)| snap.total > 0)
+            .filter_map(|(name, _)| SpanMetricName::parse(name))
+            .collect();
+        assert!(!span_names.is_empty(), "sampled run must populate span histograms");
+        for phase in [SpanPhase::Queue, SpanPhase::Proc, SpanPhase::EndToEnd] {
+            assert!(
+                span_names.iter().any(|nm| nm.phase == phase),
+                "phase {phase:?} missing"
+            );
+        }
+        // End-to-end latency lands only at the sink operator.
+        assert!(span_names
+            .iter()
+            .filter(|nm| nm.phase == SpanPhase::EndToEnd)
+            .all(|nm| nm.po == 2));
+        // The wave completion bumps the routing epoch: observations
+        // recorded before and after it land in distinct histograms.
+        let mut epochs: Vec<u64> = span_names.iter().map(|nm| nm.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        assert!(
+            epochs.len() >= 2,
+            "epoch tagging must split pre/post-wave observations, got {epochs:?}"
+        );
     }
 
     #[test]

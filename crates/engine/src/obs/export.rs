@@ -198,6 +198,28 @@ pub fn event_to_json(e: &TraceEvent) -> String {
             field("duration_windows", duration_windows.to_string());
         }
         K::DegradedToHash => {}
+        K::SpanBegin { poi, key } => {
+            field("poi", poi.to_string());
+            field("key", key.to_string());
+        }
+        K::SpanHop {
+            poi,
+            key,
+            queue_ns,
+            proc_ns,
+            remote,
+        } => {
+            field("poi", poi.to_string());
+            field("key", key.to_string());
+            field("queue_ns", queue_ns.to_string());
+            field("proc_ns", proc_ns.to_string());
+            field("remote", remote.to_string());
+        }
+        K::SpanEnd { poi, key, total_ns } => {
+            field("poi", poi.to_string());
+            field("key", key.to_string());
+            field("total_ns", total_ns.to_string());
+        }
     }
     s.push('}');
     s
@@ -466,6 +488,22 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
             duration_windows: r.u64("duration_windows")?,
         },
         "degraded_to_hash" => K::DegradedToHash,
+        "span_begin" => K::SpanBegin {
+            poi: r.usize("poi")?,
+            key: r.u64("key")?,
+        },
+        "span_hop" => K::SpanHop {
+            poi: r.usize("poi")?,
+            key: r.u64("key")?,
+            queue_ns: r.u64("queue_ns")?,
+            proc_ns: r.u64("proc_ns")?,
+            remote: r.bool("remote")?,
+        },
+        "span_end" => K::SpanEnd {
+            poi: r.usize("poi")?,
+            key: r.u64("key")?,
+            total_ns: r.u64("total_ns")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TraceEvent {
@@ -550,6 +588,22 @@ mod tests {
                 duration_windows: 6,
             },
             K::DegradedToHash,
+            K::SpanBegin {
+                poi: 0,
+                key: u64::MAX - 3, // > 2^53: must not pass through f64
+            },
+            K::SpanHop {
+                poi: 2,
+                key: u64::MAX - 3,
+                queue_ns: 1_234_567_890_123, // > 2^32
+                proc_ns: 450,
+                remote: true,
+            },
+            K::SpanEnd {
+                poi: 3,
+                key: u64::MAX - 3,
+                total_ns: 9_876_543_210_987,
+            },
         ];
         kinds
             .into_iter()

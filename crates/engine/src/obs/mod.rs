@@ -16,7 +16,12 @@
 //!   the live runtime (atomic increments on the hot path);
 //! * exporters ([`export`]) — JSONL trace dumps with a round-tripping
 //!   parser, CSV time series from a
-//!   [`MetricsLog`](crate::MetricsLog), and Prometheus text format.
+//!   [`MetricsLog`](crate::MetricsLog), and Prometheus text format;
+//! * span tracing ([`SpanSampler`], [`SpanRecorder`]) — deterministic
+//!   per-key sampling of data-plane tuples with per-hop queue-wait /
+//!   processing / end-to-end latency histograms, split local vs.
+//!   remote and tagged with the routing epoch (see
+//!   [`SpanMetricName`] for the shared sim/live schema).
 //!
 //! Overhead budget: the simulator records only control-plane events
 //! (waves, migrations, faults, first-stall per key) — never one event
@@ -25,9 +30,11 @@
 //! paths touch only relaxed atomics.
 
 mod registry;
+mod span;
 mod trace;
 
 pub mod export;
 
-pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use registry::{log2_bounds, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use span::{SpanMetricName, SpanPhase, SpanRecorder, SpanSampler};
 pub use trace::{EventTracer, TraceEvent, TraceEventKind};

@@ -12,6 +12,23 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+/// Power-of-two histogram bucket upper bounds: `[1, 2, 4, ..., 2^max_exp]`.
+///
+/// The shared bucket schema for every latency-shaped histogram in the
+/// engine (window latency, wave duration, span queue/processing time):
+/// log2 buckets give constant relative error (~2×) across nine orders
+/// of magnitude with `max_exp + 1` buckets, and a fixed formula means
+/// sim and live histograms are always mergeable.
+///
+/// # Panics
+///
+/// Panics if `max_exp >= 64` (the bound would overflow `u64`).
+#[must_use]
+pub fn log2_bounds(max_exp: u32) -> Vec<u64> {
+    assert!(max_exp < 64, "2^{max_exp} overflows u64");
+    (0..=max_exp).map(|e| 1u64 << e).collect()
+}
+
 /// A monotonically increasing counter. Clones share the value.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -274,6 +291,21 @@ impl MetricsRegistry {
         out
     }
 
+    /// Snapshots every registered histogram as `(name, snapshot)`
+    /// pairs, in registration order. Counters and gauges are skipped;
+    /// use [`snapshot`](Self::snapshot) for those.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        let entries = self.entries.lock();
+        entries
+            .iter()
+            .filter_map(|e| match &e.metric {
+                Metric::Histogram(h) => Some((e.name.clone(), h.snapshot())),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Renders every metric in the Prometheus text exposition format.
     #[must_use]
     pub fn render_prometheus(&self) -> String {
@@ -351,6 +383,35 @@ mod tests {
         g.max(5);
         g.max(3);
         assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn log2_bounds_pinned_edges() {
+        // Pinned constants: these edges are a wire format (sim and live
+        // histograms must stay mergeable across versions).
+        assert_eq!(log2_bounds(0), vec![1]);
+        assert_eq!(log2_bounds(3), vec![1, 2, 4, 8]);
+        assert_eq!(log2_bounds(6), vec![1, 2, 4, 8, 16, 32, 64]);
+        let ns = log2_bounds(36);
+        assert_eq!(ns.len(), 37);
+        assert_eq!(ns[0], 1);
+        assert_eq!(ns[10], 1024);
+        assert_eq!(ns[30], 1 << 30);
+        assert_eq!(*ns.last().unwrap(), 68_719_476_736); // 2^36 ns ≈ 68.7 s
+        assert!(ns.windows(2).all(|w| w[1] == 2 * w[0]));
+    }
+
+    #[test]
+    fn histograms_accessor_lists_only_histograms() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("c", "");
+        let h = reg.histogram("h", "", &log2_bounds(2));
+        h.observe(3);
+        let hists = reg.histograms();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].0, "h");
+        assert_eq!(hists[0].1.bounds, vec![1, 2, 4]);
+        assert_eq!(hists[0].1.total, 1);
     }
 
     #[test]

@@ -135,6 +135,36 @@ pub enum TraceEventKind {
     /// The engine fell back to whole-table hash routing (graceful
     /// degradation after manager death).
     DegradedToHash,
+    /// A span-sampled tuple entered the data plane at a source.
+    SpanBegin {
+        /// Emitting source instance.
+        poi: usize,
+        /// The sampled routing key.
+        key: u64,
+    },
+    /// A span-sampled tuple was processed at one hop.
+    SpanHop {
+        /// Receiving instance.
+        poi: usize,
+        /// The sampled routing key.
+        key: u64,
+        /// Time spent waiting to be dequeued, in nanoseconds.
+        queue_ns: u64,
+        /// Processing time at this hop, in nanoseconds.
+        proc_ns: u64,
+        /// Whether the hop crossed workers (remote) or stayed local.
+        remote: bool,
+    },
+    /// A span-sampled tuple completed its path at a sink.
+    SpanEnd {
+        /// Sink instance.
+        poi: usize,
+        /// The sampled routing key.
+        key: u64,
+        /// End-to-end latency from the source origin stamp, in
+        /// nanoseconds.
+        total_ns: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -164,6 +194,9 @@ impl TraceEventKind {
             Self::WaveAborted => "wave_aborted",
             Self::WaveCompleted { .. } => "wave_completed",
             Self::DegradedToHash => "degraded_to_hash",
+            Self::SpanBegin { .. } => "span_begin",
+            Self::SpanHop { .. } => "span_hop",
+            Self::SpanEnd { .. } => "span_end",
         }
     }
 }

@@ -88,6 +88,16 @@ pub trait KeyRouter: Send + Sync {
     fn name(&self) -> &'static str {
         "custom"
     }
+
+    /// The reconfiguration epoch this router was generated in, when
+    /// the implementation tracks one (`RoutingTable` does: the manager
+    /// stamps each rebuilt table with its wave count). Span-tracing
+    /// hops are tagged with the active epoch so latency distributions
+    /// can be compared before and after each wave. Stateless routers
+    /// return `None`.
+    fn epoch(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl fmt::Debug for dyn KeyRouter {

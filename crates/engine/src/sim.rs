@@ -18,7 +18,8 @@ use crate::fault::{FaultInjector, FaultPlan};
 use crate::key::Key;
 use crate::metrics::{MetricsLog, WindowMetrics};
 use crate::obs::{
-    Counter, EventTracer, Gauge, Histogram, MetricsRegistry, TraceEvent, TraceEventKind,
+    log2_bounds, Counter, EventTracer, Gauge, Histogram, MetricsRegistry, SpanRecorder,
+    SpanSampler, TraceEvent, TraceEventKind,
 };
 use crate::operator::{OpContext, Operator, StateValue};
 use crate::reconfig::{ControlMsg, ReconfigExec, StagedReconf};
@@ -155,6 +156,9 @@ pub(crate) struct InTuple {
     /// Window index at which the source emitted the originating tuple
     /// (for end-to-end latency accounting).
     pub(crate) born: u64,
+    /// Window index at which the tuple entered this input queue (for
+    /// span queue-wait attribution; equals `born` on the first hop).
+    pub(crate) enqueued: u64,
 }
 
 pub(crate) enum PoiKindRt {
@@ -315,6 +319,10 @@ pub struct Simulation {
     /// Registry-backed counters fed once per window; `None` until a
     /// registry is attached.
     pub(crate) obs_metrics: Option<SimObsMetrics>,
+    /// Per-key span sampler; `None` until span tracing is enabled.
+    pub(crate) span_sampler: Option<SpanSampler>,
+    /// Histogram-backed span recorder, created with the sampler.
+    pub(crate) span_rec: Option<SpanRecorder>,
     /// Waves started so far; the next wave gets this id.
     pub(crate) wave_seq: u64,
     /// Id of the most recently started wave, kept after completion so
@@ -395,12 +403,12 @@ impl SimObsMetrics {
             window_latency: reg.histogram(
                 "sim_window_latency_windows",
                 "per-window max tuple latency, in windows",
-                &[1, 2, 4, 8, 16, 32, 64],
+                &log2_bounds(6),
             ),
             wave_duration: reg.histogram(
                 "sim_wave_duration_windows",
                 "completed reconfiguration wave durations, in windows",
-                &[2, 4, 8, 16, 32, 64, 128],
+                &log2_bounds(7)[1..],
             ),
         }
     }
@@ -544,6 +552,8 @@ impl Simulation {
             lost_migrations: Vec::new(),
             tracer: None,
             obs_metrics: None,
+            span_sampler: None,
+            span_rec: None,
             wave_seq: 0,
             last_wave: None,
         }
@@ -577,6 +587,41 @@ impl Simulation {
     /// aggregates at the end of every [`step`](Self::step).
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.obs_metrics = Some(SimObsMetrics::register(registry));
+    }
+
+    /// Enables sampled end-to-end span tracing: `sampler` picks keys
+    /// at source emit, and every hop records queue-wait and processing
+    /// time (simulated windows and CPU charges converted to
+    /// nanoseconds) into the same per-hop histograms the live runtime
+    /// uses — see [`SpanMetricName`](crate::obs::SpanMetricName) for
+    /// the shared schema. Pass a `registry` to export them; `None`
+    /// keeps the histograms detached (events still reach the tracer).
+    pub fn enable_span_tracing(
+        &mut self,
+        sampler: SpanSampler,
+        registry: Option<Arc<MetricsRegistry>>,
+    ) {
+        self.span_sampler = Some(sampler);
+        self.span_rec = Some(SpanRecorder::new(registry));
+    }
+
+    /// Simulated-time nanoseconds at the start of window `window`.
+    #[inline]
+    fn window_ns(&self, window: u64) -> u64 {
+        (window as f64 * self.config.window * 1e9) as u64
+    }
+
+    /// Routing epoch for span attribution: 0 before any wave completes,
+    /// then `last completed wave + 1` — mirroring the live runtime's
+    /// post-wave epoch bump. `last_wave` is stamped at wave *start*, so
+    /// while a wave is still in flight the previous epoch stays active.
+    #[inline]
+    fn span_epoch(&self) -> u64 {
+        match self.last_wave {
+            Some(w) if self.reconfig.is_some() => w,
+            Some(w) => w + 1,
+            None => 0,
+        }
     }
 
     /// Records one trace event (no-op while tracing is disabled).
@@ -1142,7 +1187,7 @@ impl Simulation {
                         remaining[si] = 0;
                         break;
                     }
-                    let tuple = {
+                    let mut tuple = {
                         let PoiKindRt::Source { gen, exhausted, .. } =
                             &mut self.pois[idx].kind
                         else {
@@ -1164,6 +1209,27 @@ impl Simulation {
                     wm.emitted += 1;
                     remaining[si] -= 1;
                     let born = self.window_index;
+                    // Span sampling at the source: the decision is
+                    // made on the first fields-routed key, so sampled
+                    // spans follow exactly the keys whose routing the
+                    // manager controls.
+                    if let Some(sampler) = self.span_sampler {
+                        let field = self.pois[idx].out.iter().find_map(|o| match &o.kind {
+                            OutKind::Fields { field, .. } => Some(*field),
+                            _ => None,
+                        });
+                        if let Some(field) = field {
+                            if tuple.field_count() > field && sampler.sampled(tuple.key(field))
+                            {
+                                tuple.set_span_origin(self.window_ns(born));
+                                let key = tuple.key(field).value();
+                                self.trace(
+                                    self.wave_hint(),
+                                    TraceEventKind::SpanBegin { poi: idx, key },
+                                );
+                            }
+                        }
+                    }
                     let copies = self.emit_from(idx, tuple, born, &mut budgets[si], wm);
                     self.in_flight += copies as i64;
                     progressed = true;
@@ -1246,6 +1312,49 @@ impl Simulation {
             budget -= cost;
             wm.poi_processed[idx] += 1;
 
+            // Span hop: queue wait from the enqueue window, processing
+            // time from the CPU charge, into the same log2 histograms
+            // (and metric names) the live runtime uses.
+            if self.span_rec.is_some() && in_tuple.tuple.is_span_sampled() {
+                let queue_ns =
+                    self.window_ns(self.window_index - in_tuple.enqueued);
+                let proc_ns = (cost * 1e9) as u64;
+                let epoch = self.span_epoch();
+                let po = self.pois[idx].po.index();
+                let is_sink = self.pois[idx].out.is_empty();
+                let total_ns = self
+                    .window_ns(self.window_index)
+                    .saturating_sub(in_tuple.tuple.span_origin_ns());
+                let rec = self.span_rec.as_mut().expect("checked above");
+                rec.record_hop(po, epoch, in_tuple.remote, queue_ns, proc_ns);
+                if is_sink {
+                    rec.record_end(po, epoch, total_ns);
+                }
+                let key = state_key
+                    .unwrap_or_else(|| in_tuple.tuple.key(0))
+                    .value();
+                self.trace(
+                    self.wave_hint(),
+                    TraceEventKind::SpanHop {
+                        poi: idx,
+                        key,
+                        queue_ns,
+                        proc_ns,
+                        remote: in_tuple.remote,
+                    },
+                );
+                if is_sink {
+                    self.trace(
+                        self.wave_hint(),
+                        TraceEventKind::SpanEnd {
+                            poi: idx,
+                            key,
+                            total_ns,
+                        },
+                    );
+                }
+            }
+
             // Run the operator with split borrows on the POI.
             emitted.clear();
             {
@@ -1285,6 +1394,16 @@ impl Simulation {
                             }
                         }
                     }
+                }
+            }
+
+            // Derived output inherits the input's span origin, so a
+            // span follows the tuple's lineage across transforming
+            // operators (forwarding operators copy it implicitly).
+            if in_tuple.tuple.is_span_sampled() {
+                let origin = in_tuple.tuple.span_origin_ns();
+                for t in &mut emitted {
+                    t.set_span_origin(origin);
                 }
             }
 
@@ -1380,6 +1499,7 @@ impl Simulation {
                 tuple,
                 remote: false,
                 born,
+                enqueued: self.window_index,
             });
             return;
         }
@@ -1395,6 +1515,7 @@ impl Simulation {
                 tuple,
                 remote: true,
                 born,
+                enqueued: self.window_index,
             });
         } else {
             self.servers[from_server.0].backlog.push_back(NetMsg {
@@ -1441,6 +1562,7 @@ impl Simulation {
                     tuple,
                     remote: true,
                     born,
+                    enqueued: self.window_index,
                 });
             }
             NetPayload::Migrate { key, state } => {

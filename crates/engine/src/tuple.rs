@@ -28,11 +28,35 @@ pub const MAX_FIELDS: usize = 4;
 /// assert_eq!(t.key(1), Key::new(17));
 /// assert_eq!(t.payload_bytes(), 8192);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy)]
 pub struct Tuple {
     fields: [Key; MAX_FIELDS],
     field_count: u8,
     payload_bytes: u32,
+    /// Span-tracing origin timestamp in nanoseconds; 0 = not sampled.
+    /// Observability metadata — excluded from equality and hashing so
+    /// a stamped tuple still compares equal to its unstamped twin.
+    origin_ns: u64,
+    /// Last-hop send timestamp (nanoseconds, shifted left one bit)
+    /// with the remote flag packed into bit 0; 0 = no hop recorded.
+    hop_ns: u64,
+}
+
+// Equality and hashing cover only the semantic fields (keys + payload
+// size); span stamps ride along without changing tuple identity.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.keys() == other.keys() && self.payload_bytes == other.payload_bytes
+    }
+}
+
+impl Eq for Tuple {}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.keys().hash(state);
+        self.payload_bytes.hash(state);
+    }
 }
 
 impl fmt::Debug for Tuple {
@@ -69,6 +93,51 @@ impl Tuple {
             fields,
             field_count,
             payload_bytes,
+            origin_ns: 0,
+            hop_ns: 0,
+        }
+    }
+
+    /// `true` when the span sampler selected this tuple at the source.
+    #[inline]
+    #[must_use]
+    pub fn is_span_sampled(&self) -> bool {
+        self.origin_ns != 0
+    }
+
+    /// Origin timestamp (nanoseconds since the runtime clock's epoch)
+    /// stamped at the source; 0 when the tuple is not sampled.
+    #[inline]
+    #[must_use]
+    pub fn span_origin_ns(&self) -> u64 {
+        self.origin_ns
+    }
+
+    /// Marks the tuple as span-sampled with the given origin
+    /// timestamp. A timestamp of 0 is clamped to 1 so "sampled at the
+    /// clock's first tick" stays distinguishable from "not sampled".
+    #[inline]
+    pub fn set_span_origin(&mut self, now_ns: u64) {
+        self.origin_ns = now_ns.max(1);
+    }
+
+    /// Stamps the send time of the current hop and whether the hop
+    /// crosses to a different worker (`remote`). The receiver computes
+    /// queue wait as its dequeue time minus this stamp.
+    #[inline]
+    pub fn set_span_hop(&mut self, now_ns: u64, remote: bool) {
+        self.hop_ns = (now_ns.max(1) << 1) | u64::from(remote);
+    }
+
+    /// The current hop's `(send_time_ns, remote)` stamp, if one was
+    /// recorded by the sender.
+    #[inline]
+    #[must_use]
+    pub fn span_hop(&self) -> Option<(u64, bool)> {
+        if self.hop_ns == 0 {
+            None
+        } else {
+            Some((self.hop_ns >> 1, self.hop_ns & 1 == 1))
         }
     }
 
@@ -188,6 +257,35 @@ mod tests {
         let t = Tuple::new([], 50);
         assert_eq!(t.field_count(), 0);
         assert_eq!(t.wire_bytes(), 50);
+    }
+
+    #[test]
+    fn span_stamps_ride_outside_identity() {
+        let plain = Tuple::new([Key::new(1)], 8);
+        let mut stamped = plain;
+        assert!(!stamped.is_span_sampled());
+        assert_eq!(stamped.span_hop(), None);
+        stamped.set_span_origin(42);
+        stamped.set_span_hop(100, true);
+        assert!(stamped.is_span_sampled());
+        assert_eq!(stamped.span_origin_ns(), 42);
+        assert_eq!(stamped.span_hop(), Some((100, true)));
+        // Stamps are observability metadata, not identity.
+        assert_eq!(plain, stamped);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |t: &Tuple| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&plain), hash(&stamped));
+        // Clock tick 0 still reads as "sampled".
+        let mut zero = plain;
+        zero.set_span_origin(0);
+        assert!(zero.is_span_sampled());
+        zero.set_span_hop(0, false);
+        assert_eq!(zero.span_hop(), Some((1, false)));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use streamloc_engine::obs::export::{parse_jsonl, to_jsonl};
 use streamloc_engine::{
     ClusterSpec, ControlClass, CountOperator, FaultEvent, FaultPlan, Grouping, HashRouter, Key,
     KeyRouter, MetricsRegistry, ModuloRouter, Placement, ReconfigPlan, SimConfig, Simulation,
-    SourceRate, Topology, TraceEventKind, Tuple,
+    SourceRate, SpanMetricName, SpanPhase, SpanSampler, Topology, TraceEventKind, Tuple,
 };
 
 const KEYS: u64 = 12;
@@ -17,10 +17,16 @@ const TOTAL: u64 = 9_000;
 
 /// Finite S → A → B chain (mirrors the `fault_recovery` example).
 fn finite_sim() -> Simulation {
+    finite_sim_with(TOTAL)
+}
+
+/// Same chain with a configurable tuple budget, for tests that need
+/// the stream to outlive a reconfiguration wave.
+fn finite_sim_with(total: u64) -> Simulation {
     let mut b = Topology::builder();
-    let s = b.source("S", PARALLELISM, SourceRate::PerSecond(20_000.0), |i| {
+    let s = b.source("S", PARALLELISM, SourceRate::PerSecond(20_000.0), move |i| {
         let mut c = i as u64;
-        let mut left = TOTAL / PARALLELISM as u64;
+        let mut left = total / PARALLELISM as u64;
         Box::new(move || {
             if left == 0 {
                 return None;
@@ -153,6 +159,75 @@ fn tracing_and_metrics_do_not_change_results() {
         "tracing changed avg_throughput by {:.2}% ({tput_plain} vs {tput_traced})",
         rel * 100.0
     );
+}
+
+#[test]
+fn span_events_trace_and_round_trip_with_epoch_split() {
+    // 60k tuples at 20k/s per source over 0.1 s windows (~10 windows
+    // of data): the stream comfortably outlives the wave started at
+    // window 2, so observations land both before and after the epoch
+    // bump.
+    let mut sim = finite_sim_with(60_000);
+    sim.enable_tracing(65_536);
+    let registry = Arc::new(MetricsRegistry::new());
+    sim.attach_metrics(&registry);
+    sim.enable_span_tracing(SpanSampler::new(0xC0FFEE, 2), Some(Arc::clone(&registry)));
+    sim.run(2);
+    sim.start_reconfiguration(modulo_plan(&sim)).unwrap();
+    sim.run_until_drained(800);
+
+    // All three span lifecycle stages appear in the trace and the
+    // whole trace (spans included) survives JSONL serialization.
+    let events = sim.take_trace_events();
+    let count = |pred: &dyn Fn(&TraceEventKind) -> bool| {
+        events.iter().filter(|e| pred(&e.kind)).count()
+    };
+    let begins = count(&|k| matches!(k, TraceEventKind::SpanBegin { .. }));
+    let hops = count(&|k| matches!(k, TraceEventKind::SpanHop { .. }));
+    let ends = count(&|k| matches!(k, TraceEventKind::SpanEnd { .. }));
+    assert!(begins > 0, "sampled sources must trace span_begin");
+    assert!(hops > 0, "sampled hops must trace span_hop");
+    assert!(ends > 0, "sampled sinks must trace span_end");
+    assert!(
+        hops >= ends,
+        "every completed span has at least its sink hop ({hops} hops, {ends} ends)"
+    );
+    let parsed = parse_jsonl(&to_jsonl(&events)).expect("span trace must parse back");
+    assert_eq!(parsed, events);
+
+    // Histogram names follow the shared schema and round-trip through
+    // the structured parser; the mid-run wave splits them by epoch.
+    let span_names: Vec<SpanMetricName> = registry
+        .histograms()
+        .iter()
+        .filter(|(_, snap)| snap.total > 0)
+        .filter_map(|(name, _)| {
+            let parsed = SpanMetricName::parse(name)?;
+            assert_eq!(parsed.render(), *name, "span name must round-trip");
+            Some(parsed)
+        })
+        .collect();
+    assert!(!span_names.is_empty(), "span histograms must be populated");
+    for phase in [SpanPhase::Queue, SpanPhase::Proc, SpanPhase::EndToEnd] {
+        assert!(
+            span_names.iter().any(|n| n.phase == phase),
+            "phase {phase:?} missing from span histograms"
+        );
+    }
+    let mut epochs: Vec<u64> = span_names.iter().map(|n| n.epoch).collect();
+    epochs.sort_unstable();
+    epochs.dedup();
+    assert!(
+        epochs.len() >= 2,
+        "observations before and after the wave must land in distinct epochs, got {epochs:?}"
+    );
+    // End-to-end latency is only recorded at the sink operator (B).
+    let sink = sim.topology().po_by_name("B").unwrap();
+    for n in &span_names {
+        if n.phase == SpanPhase::EndToEnd {
+            assert_eq!(n.po, sink.index(), "e2e histograms belong to the sink");
+        }
+    }
 }
 
 #[test]

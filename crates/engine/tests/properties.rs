@@ -260,6 +260,110 @@ mod route_batch_props {
     }
 }
 
+mod span_props {
+    use proptest::prelude::*;
+    use streamloc_engine::obs::export::{parse_jsonl, to_jsonl};
+    use streamloc_engine::{Key, SpanSampler, TraceEvent, TraceEventKind, Tuple};
+
+    /// Key sequences built from short runs over a small domain, so the
+    /// columnar stamping path sees both long runs and alternation.
+    fn run_heavy_keys() -> impl Strategy<Value = Vec<u64>> {
+        prop::collection::vec((0u64..48, 1usize..6), 0..60).prop_map(|segments| {
+            segments
+                .into_iter()
+                .flat_map(|(k, n)| std::iter::repeat_n(k, n))
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// The sampler is a pure function of (seed, denominator, key):
+        /// two instances built alike select the identical sampled set.
+        #[test]
+        fn sampler_is_deterministic(
+            seed in any::<u64>(),
+            denom in 1u64..512,
+            keys in prop::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let a = SpanSampler::new(seed, denom);
+            let b = SpanSampler::new(seed, denom);
+            let picked_a: Vec<u64> =
+                keys.iter().copied().filter(|&k| a.sampled(Key::new(k))).collect();
+            let picked_b: Vec<u64> =
+                keys.iter().copied().filter(|&k| b.sampled(Key::new(k))).collect();
+            prop_assert_eq!(picked_a, picked_b);
+        }
+
+        /// Columnar equivalence: `stamp_batch` (one decision per key
+        /// run) marks exactly the tuples the per-tuple `sampled` check
+        /// would, with the origin stamp on every marked tuple.
+        #[test]
+        fn stamp_batch_equals_per_tuple_sampling(
+            seed in any::<u64>(),
+            denom in 1u64..64,
+            keys in run_heavy_keys(),
+            now in 1u64..u64::MAX,
+        ) {
+            let sampler = SpanSampler::new(seed, denom);
+            let mut tuples: Vec<Tuple> = keys
+                .iter()
+                .map(|&k| Tuple::new([Key::new(k), Key::new(k ^ 1)], 8))
+                .collect();
+            sampler.stamp_batch(&mut tuples, 0, now);
+            for (t, &k) in tuples.iter().zip(&keys) {
+                let want = sampler.sampled(Key::new(k));
+                prop_assert_eq!(
+                    t.span_origin_ns() != 0,
+                    want,
+                    "key {} stamped={} sampled={}", k, t.span_origin_ns() != 0, want
+                );
+                if want {
+                    prop_assert_eq!(t.span_origin_ns(), now);
+                }
+            }
+        }
+
+        /// A 1/1 sampler selects every key.
+        #[test]
+        fn denominator_one_samples_everything(seed in any::<u64>(), k in any::<u64>()) {
+            prop_assert!(SpanSampler::new(seed, 1).sampled(Key::new(k)));
+        }
+
+        /// All three span event kinds survive the JSONL round trip with
+        /// arbitrary field values.
+        #[test]
+        fn span_events_round_trip_jsonl(
+            poi in 0usize..64,
+            key in any::<u64>(),
+            queue_ns in any::<u64>(),
+            proc_ns in any::<u64>(),
+            total_ns in any::<u64>(),
+            remote in any::<bool>(),
+            wave_raw in (any::<bool>(), 0u64..100),
+        ) {
+            let wave = wave_raw.0.then_some(wave_raw.1);
+            let kinds = [
+                TraceEventKind::SpanBegin { poi, key },
+                TraceEventKind::SpanHop { poi, key, queue_ns, proc_ns, remote },
+                TraceEventKind::SpanEnd { poi, key, total_ns },
+            ];
+            let events: Vec<TraceEvent> = kinds
+                .into_iter()
+                .enumerate()
+                .map(|(i, kind)| TraceEvent {
+                    seq: i as u64,
+                    time: i as f64 * 0.25,
+                    window: i as u64,
+                    wave,
+                    kind,
+                })
+                .collect();
+            let parsed = parse_jsonl(&to_jsonl(&events)).expect("span events must parse");
+            prop_assert_eq!(parsed, events);
+        }
+    }
+}
+
 mod fanout_props {
     use proptest::prelude::*;
     use streamloc_engine::{
